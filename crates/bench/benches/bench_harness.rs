@@ -1,0 +1,48 @@
+//! Criterion counterpart to Table 4.2 (paper §4.2.2): per-operation harness
+//! overhead — dynamic plugin dispatch + `MetaOp` allocation vs. a
+//! hand-inlined create loop on the same in-memory file system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmetabench::{plugin_by_name, BenchParams, WorkerCtx};
+use memfs::{MemFs, Vfs};
+
+fn bench_raw_vs_harness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_4_2_harness_overhead");
+
+    g.bench_function("raw_inlined_create", |b| {
+        let mut fs = MemFs::new();
+        fs.mkdir("/w").expect("fresh fs");
+        let mut i = 0u64;
+        b.iter(|| {
+            let fd = fs.create(&format!("/w/{i}")).expect("unique");
+            fs.close(fd).expect("open");
+            i += 1;
+        })
+    });
+
+    g.bench_function("plugin_dispatch_create", |b| {
+        let mut fs = MemFs::new();
+        let params = BenchParams {
+            problem_size: u64::MAX / 2, // never rotate directories
+            workdir: "/w".into(),
+            ..BenchParams::default()
+        };
+        let ctx = WorkerCtx::build(&[(0, 0)], &params, 1).remove(0);
+        let plugin = plugin_by_name("MakeFiles").expect("built-in");
+        let mut stream = plugin.stream(&ctx);
+        let mut i = 0u64;
+        // create the single target subdirectory once
+        let first = stream(0).expect("timed stream");
+        cluster::ensure_parents(&mut fs, first.primary_path()).expect("mkdir");
+        b.iter(|| {
+            let op = stream(i).expect("timed stream");
+            cluster::exec_op(&mut fs, &op).expect("unique");
+            i += 1;
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_vs_harness);
+criterion_main!(benches);

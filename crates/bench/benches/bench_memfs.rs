@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of the local file-system substrate:
+//! directory-index scaling (the data-structure story behind the paper's
+//! large-directory experiment §4.3.3) and allocator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use memfs::{
+    new_allocator, new_index, AllocatorKind, DirIndexKind, FileType, Ino, MemFs, MemFsConfig,
+    RawEntry, Vfs,
+};
+
+fn populated_index(kind: DirIndexKind, n: u64) -> Box<dyn memfs::DirIndex> {
+    let mut d = new_index(kind);
+    for i in 0..n {
+        d.insert(RawEntry {
+            name: format!("f{i:08}"),
+            ino: Ino(i + 10),
+            file_type: FileType::Regular,
+        });
+    }
+    d
+}
+
+fn bench_dir_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dir_lookup");
+    for kind in [DirIndexKind::Linear, DirIndexKind::Hashed, DirIndexKind::BTree] {
+        for n in [100u64, 10_000] {
+            let d = populated_index(kind, n);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), n),
+                &n,
+                |b, &n| {
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        i = (i + 7919) % n;
+                        black_box(d.lookup(&format!("f{i:08}")))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_dir_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dir_insert_into_10k");
+    for kind in [DirIndexKind::Linear, DirIndexKind::Hashed, DirIndexKind::BTree] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter_batched(
+                || populated_index(kind, 10_000),
+                |mut d| {
+                    d.insert(RawEntry {
+                        name: "fresh".into(),
+                        ino: Ino(1),
+                        file_type: FileType::Regular,
+                    })
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_create_unlink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memfs_create_close_unlink");
+    for kind in [DirIndexKind::Hashed, DirIndexKind::BTree] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            let mut cfg = MemFsConfig::default();
+            cfg.dir_index = kind;
+            let mut fs = MemFs::with_config(cfg);
+            fs.mkdir("/w").expect("fresh fs");
+            let mut i = 0u64;
+            b.iter(|| {
+                let p = format!("/w/f{i}");
+                i += 1;
+                let fd = fs.create(&p).expect("unique");
+                fs.close(fd).expect("open");
+                fs.unlink(&p).expect("exists");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator_alloc_free_64_blocks");
+    for kind in [AllocatorKind::Bitmap, AllocatorKind::Extent] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            let mut a = new_allocator(kind, 1 << 20);
+            b.iter(|| {
+                let got = a.allocate(64).expect("space available");
+                a.free(&got.extents);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_resolution(c: &mut Criterion) {
+    let mut fs = MemFs::new();
+    fs.mkdir("/a").expect("fresh");
+    fs.mkdir("/a/b").expect("fresh");
+    fs.mkdir("/a/b/c").expect("fresh");
+    fs.mkdir("/a/b/c/d").expect("fresh");
+    let fd = fs.create("/a/b/c/d/leaf").expect("fresh");
+    fs.close(fd).expect("open");
+    c.bench_function("memfs_stat_deep_path", |b| {
+        b.iter(|| black_box(fs.stat("/a/b/c/d/leaf").expect("exists")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dir_lookup,
+    bench_dir_insert,
+    bench_create_unlink,
+    bench_allocators,
+    bench_path_resolution
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the result pipeline: preprocessing and chart
+//! generation for a large result set (600 intervals × 64 processes — a
+//! 60-second run on a large cluster, §3.3.9).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmetabench::{chart, preprocess, ProcessTrace, ResultSet};
+
+fn big_result_set(processes: usize, intervals: usize) -> ResultSet {
+    ResultSet {
+        operation: "MakeFiles".into(),
+        fs_name: "nfs".into(),
+        nodes: processes / 4,
+        ppn: 4,
+        interval_s: 0.1,
+        processes: (0..processes)
+            .map(|p| {
+                let samples: Vec<(f64, u64)> = (1..=intervals)
+                    .map(|k| (k as f64 * 0.1, (k * (100 + p % 7)) as u64))
+                    .collect();
+                ProcessTrace {
+                    hostname: format!("node{}", p / 4),
+                    process_no: p,
+                    finished_at: Some(intervals as f64 * 0.1),
+                    ops_done: samples.last().map(|&(_, n)| n).unwrap_or(0),
+                    samples,
+                    errors: 0,
+                }
+            })
+            .collect(),
+    }
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let rs = big_result_set(64, 600);
+    c.bench_function("preprocess_64proc_600intervals", |b| {
+        b.iter(|| black_box(preprocess(&rs, &[10_000, 100_000])))
+    });
+}
+
+fn bench_tsv(c: &mut Criterion) {
+    let rs = big_result_set(64, 600);
+    c.bench_function("result_to_tsv_64proc_600intervals", |b| {
+        b.iter(|| black_box(rs.to_tsv()))
+    });
+    let tsv = rs.to_tsv();
+    c.bench_function("result_from_tsv_64proc_600intervals", |b| {
+        b.iter(|| black_box(ResultSet::from_tsv(&tsv, "nfs", 16, 4).expect("well-formed")))
+    });
+}
+
+fn bench_charts(c: &mut Criterion) {
+    let rs = big_result_set(16, 600);
+    let pre = preprocess(&rs, &[]);
+    c.bench_function("svg_time_chart_600intervals", |b| {
+        b.iter(|| black_box(chart::svg_time_chart(&pre)))
+    });
+    c.bench_function("ascii_time_chart_600intervals", |b| {
+        b.iter(|| black_box(chart::time_chart(&pre)))
+    });
+}
+
+criterion_group!(benches, bench_preprocess, bench_tsv, bench_charts);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the simulation engine itself: how fast virtual
+//! benchmark seconds execute, across the file-system models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::SimConfig;
+use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
+use simcore::SimDuration;
+
+fn models() -> Vec<(&'static str, fn() -> Box<dyn DistFs>)> {
+    vec![
+        ("localfs", || Box::new(LocalFs::with_defaults())),
+        ("nfs", || Box::new(NfsFs::with_defaults())),
+        ("lustre", || Box::new(LustreFs::with_defaults())),
+        ("cxfs", || Box::new(CxfsFs::with_defaults())),
+        ("afs", || Box::new(AfsFs::with_defaults())),
+        ("ontapgx", || Box::new(OntapGxFs::with_defaults())),
+    ]
+}
+
+fn volume_dir(name: &str, node: usize, proc: usize) -> String {
+    // AFS / Ontap GX address volumes by the first path component
+    match name {
+        "afs" | "ontapgx" => format!("/vol0/n{node}p{proc}"),
+        _ => format!("/bench/n{node}p{proc}"),
+    }
+}
+
+fn bench_one_virtual_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_one_virtual_second_makefiles_4x2");
+    g.sample_size(10);
+    for (name, factory) in models() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut model = factory();
+                let mut cfg = SimConfig::default();
+                cfg.duration = Some(SimDuration::from_secs(1));
+                let workers = bench::make_workers(4, 2);
+                let streams: Vec<Box<dyn cluster::OpStream>> = workers
+                    .iter()
+                    .map(|w| {
+                        let dir = volume_dir(name, w.node, w.proc);
+                        let s: Box<dyn cluster::OpStream> = Box::new(move |i: u64| {
+                            Some(dfs::MetaOp::Create {
+                                path: format!("{dir}/sub{}/f{i}", i / 5000),
+                                data_bytes: 0,
+                            })
+                        });
+                        s
+                    })
+                    .collect();
+                cluster::run_sim(
+                    model.as_mut(),
+                    &bench::node_names(4),
+                    workers,
+                    streams,
+                    &cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_one_virtual_second);
+criterion_main!(benches);

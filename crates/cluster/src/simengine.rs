@@ -1,0 +1,952 @@
+//! The virtual-time execution engine.
+//!
+//! Takes a [`DistFs`](dfs::DistFs) model, a set of worker processes with
+//! their operation streams, and runs the whole benchmark on `simcore`'s
+//! deterministic event loop — producing exactly the per-process
+//! time-interval progress logs that DMetabench records on real systems
+//! (paper §3.2.5): every 0.1 s of *virtual* time, each worker's
+//! operations-completed counter is sampled.
+//!
+//! The engine owns the generic resources (per-node processor-sharing CPUs,
+//! per-server FIFO queues, semaphores) and executes the stage plans the
+//! model compiles. Disturbances (CPU hogs, server pauses for snapshots,
+//! competing sequential writes — Figs. 4.4–4.7) are injected here.
+
+use std::collections::HashMap;
+
+use dfs::{BackgroundJob, ClientCtx, DistFs, MetaOp, OpPlan, Stage};
+use simcore::{
+    DetRng, FifoResource, JobId, LatencyHistogram, PsResource, Scheduler, Semaphore, SimDuration,
+    SimTime,
+};
+
+/// A source of operations for one worker.
+///
+/// `index` is the number of operations the worker has completed so far;
+/// returning `None` ends the worker (fixed problem size). Duration-bounded
+/// benchmarks return `Some` forever and rely on the engine deadline.
+pub trait OpStream: Send {
+    /// Produce the next operation.
+    fn next_op(&mut self, index: u64) -> Option<MetaOp>;
+}
+
+impl<F: FnMut(u64) -> Option<MetaOp> + Send> OpStream for F {
+    fn next_op(&mut self, index: u64) -> Option<MetaOp> {
+        self(index)
+    }
+}
+
+/// One benchmark worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Node (OS instance) the worker runs on.
+    pub node: usize,
+    /// Process index within the node.
+    pub proc: usize,
+    /// CPU scheduling weight (1.0 = normal; >1 favoured as by a negative
+    /// `nice`, <1 disfavoured — paper §4.4).
+    pub cpu_weight: f64,
+}
+
+impl WorkerSpec {
+    /// A normal-priority worker.
+    pub fn new(node: usize, proc: usize) -> Self {
+        WorkerSpec {
+            node,
+            proc,
+            cpu_weight: 1.0,
+        }
+    }
+}
+
+/// An external disturbance injected into the run (paper §4.2.3).
+#[derive(Debug, Clone)]
+pub enum Disturbance {
+    /// CPU-intensive competitor processes on one node (the `stress` tool of
+    /// Fig. 4.4): consumes a processor-sharing share of the node's CPU.
+    CpuHog {
+        /// Affected node.
+        node: usize,
+        /// Start time.
+        start: SimTime,
+        /// End time.
+        end: SimTime,
+        /// PS weight of the hog (e.g. number of hog processes).
+        weight: f64,
+    },
+    /// A server pause — e.g. the filer creating snapshots (Fig. 4.5).
+    ServerPause {
+        /// Paused server (model resource index).
+        server: usize,
+        /// When the pause begins.
+        at: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+    },
+    /// Sustained extra server load — e.g. a large sequential write stream
+    /// to the filer (Fig. 4.7): one background job every `interval`.
+    ServerLoad {
+        /// Loaded server.
+        server: usize,
+        /// Start time.
+        start: SimTime,
+        /// End time.
+        end: SimTime,
+        /// Service demand per injected job.
+        demand: SimDuration,
+        /// Injection period.
+        interval: SimDuration,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Progress-sampling interval (the paper's default is 0.1 s).
+    pub sample_interval: SimDuration,
+    /// Wall-clock bound for duration-type benchmarks (e.g. MakeFiles runs
+    /// 60 s); `None` = run until all streams end.
+    pub duration: Option<SimDuration>,
+    /// CPU cores per client node.
+    pub node_cores: usize,
+    /// RNG seed (runs are bit-for-bit reproducible per seed).
+    pub seed: u64,
+    /// Injected disturbances.
+    pub disturbances: Vec<Disturbance>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            sample_interval: SimDuration::from_millis(100),
+            duration: None,
+            node_cores: 8,
+            seed: 42,
+            disturbances: Vec::new(),
+        }
+    }
+}
+
+/// Per-worker result: the time-interval progress log plus totals.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Node index.
+    pub node: usize,
+    /// Node display name.
+    pub node_name: String,
+    /// Process index within the node.
+    pub proc: usize,
+    /// `(timestamp, operations completed)` samples on the common grid.
+    pub samples: Vec<(SimTime, u64)>,
+    /// Total operations completed.
+    pub ops_done: u64,
+    /// Operations that failed (plan errors).
+    pub errors: u64,
+    /// When the worker finished (`None` = still running at engine stop,
+    /// which cannot happen in a completed run).
+    pub finished_at: Option<SimTime>,
+    /// Per-operation latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// The outcome of one simulated benchmark run.
+#[derive(Debug, Clone)]
+pub struct SimRunResult {
+    /// Model name.
+    pub fs_name: String,
+    /// Sampling interval used.
+    pub interval: SimDuration,
+    /// Per-worker traces, in worker order.
+    pub workers: Vec<WorkerTrace>,
+    /// Virtual time when the last worker finished.
+    pub wall_time: SimTime,
+}
+
+impl SimRunResult {
+    /// Total operations across all workers.
+    pub fn total_ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.ops_done).sum()
+    }
+
+    /// Merged per-operation latency distribution across all workers.
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for w in &self.workers {
+            h.merge(&w.latency);
+        }
+        h
+    }
+
+    /// Wall-clock average throughput in operations/second (§3.2.5 "global
+    /// throughput approach").
+    pub fn wallclock_ops_per_sec(&self) -> f64 {
+        let t = self.wall_time.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / t
+        }
+    }
+
+    /// Stonewall average: total ops completed up to the moment the *first*
+    /// worker finished, divided by that time (§3.2.5, IOzone's approach).
+    pub fn stonewall_ops_per_sec(&self) -> f64 {
+        let first_finish = self
+            .workers
+            .iter()
+            .filter_map(|w| w.finished_at)
+            .min()
+            .unwrap_or(self.wall_time);
+        let t = first_finish.as_secs_f64();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let total_at: u64 = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.samples
+                    .iter()
+                    .take_while(|(ts, _)| *ts <= first_finish)
+                    .map(|&(_, n)| n)
+                    .last()
+                    .unwrap_or(0)
+            })
+            .sum();
+        total_at as f64 / t
+    }
+}
+
+const BG_BASE: u64 = 1 << 40;
+const HOG_BASE: u64 = 1 << 41;
+
+#[derive(Debug)]
+enum Ev {
+    StageCompleted { job: JobId },
+    CpuDone { node: usize, generation: u64 },
+    ServerDone { server: usize, job: JobId },
+    PauseEnd { server: usize },
+    Sample,
+    ModelTimer,
+    HogStart { node: usize, job: JobId, weight: f64 },
+    HogEnd { node: usize, job: JobId },
+    LoadTick { idx: usize },
+}
+
+struct WState {
+    spec: WorkerSpec,
+    plan: Option<OpPlan>,
+    stage: usize,
+    ops_done: u64,
+    errors: u64,
+    finished_at: Option<SimTime>,
+    samples: Vec<(SimTime, u64)>,
+    op_started: SimTime,
+    latency: LatencyHistogram,
+}
+
+/// Run one benchmark iteration on a model.
+///
+/// `node_names` supplies display names (hostnames) for the participating
+/// nodes; `workers[i]` uses `streams[i]`.
+///
+/// # Panics
+///
+/// Panics if `workers` and `streams` lengths differ, if a worker references
+/// a node outside `node_names`, or if the model's plans reference undeclared
+/// resources.
+pub fn run_sim(
+    model: &mut dyn DistFs,
+    node_names: &[String],
+    workers: Vec<WorkerSpec>,
+    mut streams: Vec<Box<dyn OpStream>>,
+    config: &SimConfig,
+) -> SimRunResult {
+    assert_eq!(workers.len(), streams.len(), "one stream per worker");
+    let nodes = node_names.len();
+    for w in &workers {
+        assert!(w.node < nodes, "worker on unknown node {}", w.node);
+    }
+    model.register_clients(nodes);
+    let resources = model.resources();
+    let mut servers: Vec<FifoResource> = resources
+        .servers
+        .iter()
+        .map(|s| FifoResource::new(s.parallelism))
+        .collect();
+    let mut sems: Vec<Semaphore> = resources
+        .semaphores
+        .iter()
+        .map(|s| Semaphore::new(s.permits))
+        .collect();
+    let mut cpus: Vec<PsResource> = (0..nodes).map(|_| PsResource::new(config.node_cores)).collect();
+    let mut rng = DetRng::new(config.seed);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let deadline = config.duration.map(|d| SimTime::ZERO + d);
+
+    let mut states: Vec<WState> = workers
+        .iter()
+        .map(|spec| WState {
+            spec: spec.clone(),
+            plan: None,
+            stage: 0,
+            ops_done: 0,
+            errors: 0,
+            finished_at: None,
+            samples: Vec::new(),
+            op_started: SimTime::ZERO,
+            latency: LatencyHistogram::new(),
+        })
+        .collect();
+    let mut bg_jobs: HashMap<u64, BackgroundJob> = HashMap::new();
+    let mut next_bg: u64 = BG_BASE;
+    let mut unfinished = states.len();
+
+    // prime disturbances
+    for (idx, d) in config.disturbances.iter().enumerate() {
+        match d {
+            Disturbance::CpuHog {
+                node,
+                start,
+                end,
+                weight,
+            } => {
+                let job = JobId(HOG_BASE + idx as u64);
+                sched.schedule_at(
+                    *start,
+                    Ev::HogStart {
+                        node: *node,
+                        job,
+                        weight: *weight,
+                    },
+                );
+                sched.schedule_at(*end, Ev::HogEnd { node: *node, job });
+            }
+            Disturbance::ServerPause { at, .. } => {
+                // encoded via LoadTick-like one-shot below
+                sched.schedule_at(*at, Ev::LoadTick { idx });
+            }
+            Disturbance::ServerLoad { start, .. } => {
+                sched.schedule_at(*start, Ev::LoadTick { idx });
+            }
+        }
+    }
+    if let Some(t) = model.first_timer() {
+        sched.schedule_at(t, Ev::ModelTimer);
+    }
+    sched.schedule_at(SimTime::ZERO + config.sample_interval, Ev::Sample);
+
+    // --- helper closures are impossible with this much shared state; use
+    // --- small macro-like fns instead.
+
+    fn schedule_cpu(sched: &mut Scheduler<Ev>, cpus: &mut [PsResource], node: usize, now: SimTime) {
+        if let Some(c) = cpus[node].next_completion(now) {
+            sched.schedule_at(
+                c.at,
+                Ev::CpuDone {
+                    node,
+                    generation: c.generation,
+                },
+            );
+        }
+    }
+
+    fn server_arrive(
+        sched: &mut Scheduler<Ev>,
+        servers: &mut [FifoResource],
+        server: usize,
+        job: JobId,
+        demand: SimDuration,
+        now: SimTime,
+    ) {
+        if let Some(start) = servers[server].arrive(now, job, demand) {
+            sched.schedule_at(
+                start.completes_at,
+                Ev::ServerDone {
+                    server,
+                    job: start.job,
+                },
+            );
+        }
+    }
+
+    fn apply_pause(
+        sched: &mut Scheduler<Ev>,
+        servers: &mut [FifoResource],
+        server: usize,
+        duration: SimDuration,
+        now: SimTime,
+    ) {
+        let until = now + duration;
+        servers[server].pause_until(until);
+        sched.schedule_at(until, Ev::PauseEnd { server });
+    }
+
+    // Start an operation for worker `w`, or mark it finished. Returns jobs
+    // (newly granted sem waiters) that must be advanced.
+    #[allow(clippy::too_many_arguments)]
+    fn start_op(
+        w: usize,
+        model: &mut dyn DistFs,
+        states: &mut [WState],
+        streams: &mut [Box<dyn OpStream>],
+        sched: &mut Scheduler<Ev>,
+        servers: &mut [FifoResource],
+        bg_jobs: &mut HashMap<u64, BackgroundJob>,
+        next_bg: &mut u64,
+        rng: &mut DetRng,
+        deadline: Option<SimTime>,
+        unfinished: &mut usize,
+    ) -> bool {
+        // returns true if the worker obtained a plan and should advance
+        let now = sched.now();
+        loop {
+            if deadline.is_some_and(|d| now >= d) {
+                finish_worker(w, states, unfinished, now);
+                return false;
+            }
+            let st = &mut states[w];
+            let Some(op) = streams[w].next_op(st.ops_done) else {
+                finish_worker(w, states, unfinished, now);
+                return false;
+            };
+            let client = ClientCtx {
+                node: st.spec.node,
+                proc: st.spec.proc,
+            };
+            match model.plan(client, &op, now, rng) {
+                Ok(plan) => {
+                    states[w].op_started = now;
+                    for &(server, dur) in &plan.pauses {
+                        apply_pause(sched, servers, server.0, dur, now);
+                    }
+                    for job in &plan.background {
+                        let id = JobId(*next_bg);
+                        *next_bg += 1;
+                        bg_jobs.insert(id.0, *job);
+                        server_arrive(sched, servers, job.server.0, id, job.demand, now);
+                    }
+                    let st = &mut states[w];
+                    st.plan = Some(plan);
+                    st.stage = 0;
+                    return true;
+                }
+                Err(_) => {
+                    states[w].errors += 1;
+                    // skip to the next operation; charge nothing
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn finish_worker(w: usize, states: &mut [WState], unfinished: &mut usize, now: SimTime) {
+        let st = &mut states[w];
+        if st.finished_at.is_none() {
+            st.finished_at = Some(now);
+            st.samples.push((now, st.ops_done));
+            *unfinished -= 1;
+        }
+    }
+
+    // Advance worker w through its plan until it blocks or the op ends.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        w: usize,
+        model: &mut dyn DistFs,
+        states: &mut [WState],
+        streams: &mut [Box<dyn OpStream>],
+        sched: &mut Scheduler<Ev>,
+        cpus: &mut [PsResource],
+        servers: &mut [FifoResource],
+        sems: &mut [Semaphore],
+        bg_jobs: &mut HashMap<u64, BackgroundJob>,
+        next_bg: &mut u64,
+        rng: &mut DetRng,
+        deadline: Option<SimTime>,
+        unfinished: &mut usize,
+    ) {
+        let job = JobId(w as u64);
+        loop {
+            let now = sched.now();
+            let op_complete = {
+                let st = &states[w];
+                let plan = st.plan.as_ref().expect("advance() with no active plan");
+                st.stage >= plan.stages.len()
+            };
+            if op_complete {
+                let st = &mut states[w];
+                st.ops_done += 1;
+                let lat = now.saturating_since(st.op_started);
+                st.latency.push(lat);
+                st.plan = None;
+                if !start_op(
+                    w, model, states, streams, sched, servers, bg_jobs, next_bg, rng, deadline,
+                    unfinished,
+                ) {
+                    return;
+                }
+                continue;
+            }
+            let (stage, node) = {
+                let st = &states[w];
+                (
+                    st.plan.as_ref().expect("checked above").stages[st.stage],
+                    st.spec.node,
+                )
+            };
+            match stage {
+                Stage::ClientCpu { demand } => {
+                    cpus[node].arrive(now, job, demand, states[w].spec.cpu_weight);
+                    schedule_cpu(sched, cpus, node, now);
+                    return;
+                }
+                Stage::NetDelay { delay } => {
+                    sched.schedule_after(delay, Ev::StageCompleted { job });
+                    return;
+                }
+                Stage::Server { server, demand } => {
+                    server_arrive(sched, servers, server.0, job, demand, now);
+                    return;
+                }
+                Stage::AcquireSem { sem } => {
+                    if sems[sem.0].acquire(job) {
+                        states[w].stage += 1;
+                        continue;
+                    }
+                    return; // resumed by a ReleaseSem / background release
+                }
+                Stage::ReleaseSem { sem } => {
+                    if let Some(granted) = sems[sem.0].release() {
+                        // the waiter completes its Acquire stage
+                        sched.schedule_at(now, Ev::StageCompleted { job: granted });
+                    }
+                    states[w].stage += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    // kick off all workers at t = 0 (the MPI barrier of §3.3.3)
+    for w in 0..states.len() {
+        if start_op(
+            w,
+            model,
+            &mut states,
+            &mut streams,
+            &mut sched,
+            &mut servers,
+            &mut bg_jobs,
+            &mut next_bg,
+            &mut rng,
+            deadline,
+            &mut unfinished,
+        ) {
+            advance(
+                w,
+                model,
+                &mut states,
+                &mut streams,
+                &mut sched,
+                &mut cpus,
+                &mut servers,
+                &mut sems,
+                &mut bg_jobs,
+                &mut next_bg,
+                &mut rng,
+                deadline,
+                &mut unfinished,
+            );
+        }
+    }
+
+    // main event loop
+    while unfinished > 0 {
+        let Some((now, ev)) = sched.pop() else {
+            panic!("deadlock: {unfinished} workers never finished");
+        };
+        match ev {
+            Ev::StageCompleted { job } => {
+                let w = job.0 as usize;
+                debug_assert!(w < states.len());
+                if states[w].finished_at.is_some() {
+                    continue;
+                }
+                states[w].stage += 1;
+                advance(
+                    w,
+                    model,
+                    &mut states,
+                    &mut streams,
+                    &mut sched,
+                    &mut cpus,
+                    &mut servers,
+                    &mut sems,
+                    &mut bg_jobs,
+                    &mut next_bg,
+                    &mut rng,
+                    deadline,
+                    &mut unfinished,
+                );
+            }
+            Ev::CpuDone { node, generation } => {
+                if let Some(job) = cpus[node].on_completion(now, generation) {
+                    if job.0 < BG_BASE {
+                        sched.schedule_at(now, Ev::StageCompleted { job });
+                    }
+                }
+                schedule_cpu(&mut sched, &mut cpus, node, now);
+            }
+            Ev::ServerDone { server, job } => {
+                if let Some(start) = servers[server].complete(now) {
+                    sched.schedule_at(
+                        start.completes_at,
+                        Ev::ServerDone {
+                            server,
+                            job: start.job,
+                        },
+                    );
+                }
+                if job.0 >= BG_BASE && job.0 < HOG_BASE {
+                    // background job finished
+                    if let Some(bg) = bg_jobs.remove(&job.0) {
+                        model.on_background_complete(bg.server, now);
+                        if let Some(sem) = bg.release_sem {
+                            if let Some(granted) = sems[sem.0].release() {
+                                sched.schedule_at(now, Ev::StageCompleted { job: granted });
+                            }
+                        }
+                    }
+                } else {
+                    sched.schedule_at(now, Ev::StageCompleted { job });
+                }
+            }
+            Ev::PauseEnd { server } => {
+                for start in servers[server].kick(now) {
+                    sched.schedule_at(
+                        start.completes_at,
+                        Ev::ServerDone {
+                            server,
+                            job: start.job,
+                        },
+                    );
+                }
+            }
+            Ev::Sample => {
+                for st in states.iter_mut() {
+                    if st.finished_at.is_none() {
+                        st.samples.push((now, st.ops_done));
+                    }
+                }
+                if unfinished > 0 {
+                    sched.schedule_after(config.sample_interval, Ev::Sample);
+                }
+            }
+            Ev::ModelTimer => {
+                let action = model.on_timer(now);
+                for (server, dur) in action.pauses {
+                    apply_pause(&mut sched, &mut servers, server.0, dur, now);
+                }
+                if let Some(next) = action.next {
+                    if unfinished > 0 {
+                        sched.schedule_at(next, Ev::ModelTimer);
+                    }
+                }
+            }
+            Ev::HogStart { node, job, weight } => {
+                cpus[node].arrive_background(now, job, weight);
+                schedule_cpu(&mut sched, &mut cpus, node, now);
+            }
+            Ev::HogEnd { node, job } => {
+                cpus[node].remove(now, job);
+                schedule_cpu(&mut sched, &mut cpus, node, now);
+            }
+            Ev::LoadTick { idx } => match &config.disturbances[idx] {
+                Disturbance::ServerPause {
+                    server, duration, ..
+                } => {
+                    apply_pause(&mut sched, &mut servers, *server, *duration, now);
+                }
+                Disturbance::ServerLoad {
+                    server,
+                    end,
+                    demand,
+                    interval,
+                    ..
+                } => {
+                    let id = JobId(next_bg);
+                    next_bg += 1;
+                    bg_jobs.insert(
+                        id.0,
+                        BackgroundJob {
+                            server: dfs::ServerId(*server),
+                            demand: *demand,
+                            release_sem: None,
+                        },
+                    );
+                    server_arrive(&mut sched, &mut servers, *server, id, *demand, now);
+                    if now + *interval < *end && unfinished > 0 {
+                        sched.schedule_after(*interval, Ev::LoadTick { idx });
+                    }
+                }
+                Disturbance::CpuHog { .. } => unreachable!("hogs use HogStart/HogEnd"),
+            },
+        }
+    }
+
+    let wall_time = states
+        .iter()
+        .filter_map(|s| s.finished_at)
+        .max()
+        .unwrap_or(sched.now());
+    SimRunResult {
+        fs_name: model.name().to_owned(),
+        interval: config.sample_interval,
+        workers: states
+            .into_iter()
+            .map(|st| WorkerTrace {
+                node: st.spec.node,
+                node_name: node_names[st.spec.node].clone(),
+                proc: st.spec.proc,
+                ops_done: st.ops_done,
+                errors: st.errors,
+                finished_at: st.finished_at,
+                samples: st.samples,
+                latency: st.latency,
+            })
+            .collect(),
+        wall_time,
+    }
+}
+
+/// Convenience: a fixed-problem-size stream of file creations under
+/// `workdir` — each worker creates `path/<f{i}>`.
+pub fn create_stream(workdir: String, count: u64) -> Box<dyn OpStream> {
+    Box::new(move |i: u64| {
+        if i < count {
+            Some(MetaOp::Create {
+                path: format!("{workdir}/f{i}"),
+                data_bytes: 0,
+            })
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::{LocalFs, LustreFs, NfsFs};
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node{i}")).collect()
+    }
+
+    fn workers(nodes: usize, ppn: usize) -> Vec<WorkerSpec> {
+        let mut out = Vec::new();
+        for n in 0..nodes {
+            for p in 0..ppn {
+                out.push(WorkerSpec::new(n, p));
+            }
+        }
+        out
+    }
+
+    fn streams_for(workers: &[WorkerSpec], count: u64) -> Vec<Box<dyn OpStream>> {
+        workers
+            .iter()
+            .map(|w| create_stream(format!("/w/n{}p{}", w.node, w.proc), count))
+            .collect()
+    }
+
+    #[test]
+    fn single_worker_completes_fixed_problem() {
+        let mut fs = LocalFs::with_defaults();
+        let ws = workers(1, 1);
+        let st = streams_for(&ws, 500);
+        let res = run_sim(&mut fs, &names(1), ws, st, &SimConfig::default());
+        assert_eq!(res.total_ops(), 500);
+        assert!(res.workers[0].finished_at.is_some());
+        assert!(res.wallclock_ops_per_sec() > 0.0);
+        // samples monotonically non-decreasing
+        let s = &res.workers[0].samples;
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+        assert_eq!(s.last().unwrap().1, 500);
+    }
+
+    #[test]
+    fn nfs_scales_with_nodes_until_saturation() {
+        let throughput = |nodes: usize| {
+            let mut fs = NfsFs::with_defaults();
+            let ws = workers(nodes, 1);
+            let st = streams_for(&ws, 2000);
+            let res = run_sim(&mut fs, &names(nodes), ws, st, &SimConfig::default());
+            res.stonewall_ops_per_sec()
+        };
+        let t1 = throughput(1);
+        let t4 = throughput(4);
+        let t20 = throughput(20);
+        assert!(t4 > t1 * 2.5, "4 nodes ≥ 2.5× 1 node: {t1} vs {t4}");
+        assert!(t20 > t4, "20 nodes beat 4: {t4} vs {t20}");
+        assert!(
+            t20 < t1 * 20.0 * 0.8,
+            "20 nodes saturate below linear: {t1} * 20 vs {t20}"
+        );
+    }
+
+    #[test]
+    fn lustre_intra_node_is_flat() {
+        let throughput = |ppn: usize| {
+            let mut fs = LustreFs::with_defaults();
+            let ws = workers(1, ppn);
+            let st = streams_for(&ws, 1000);
+            let res = run_sim(&mut fs, &names(1), ws, st, &SimConfig::default());
+            res.stonewall_ops_per_sec()
+        };
+        let t1 = throughput(1);
+        let t8 = throughput(8);
+        assert!(
+            t8 < t1 * 1.5,
+            "per-node modify lock keeps intra-node flat: {t1} vs {t8}"
+        );
+    }
+
+    #[test]
+    fn duration_bound_ends_run() {
+        let mut fs = LocalFs::with_defaults();
+        let ws = workers(1, 1);
+        // unbounded stream
+        let st: Vec<Box<dyn OpStream>> = vec![create_stream("/w/p0".into(), u64::MAX)];
+        let mut cfg = SimConfig::default();
+        cfg.duration = Some(SimDuration::from_secs(2));
+        let res = run_sim(&mut fs, &names(1), ws, st, &cfg);
+        assert!(res.wall_time >= SimTime::from_secs(2));
+        assert!(res.wall_time < SimTime::from_millis(2100));
+        assert!(res.total_ops() > 1000, "2 virtual seconds of local creates");
+    }
+
+    #[test]
+    fn cpu_hog_slows_affected_node_only() {
+        let run = |hog: bool| {
+            let mut fs = NfsFs::with_defaults();
+            let ws = workers(2, 1);
+            let st = streams_for(&ws, 3000);
+            let mut cfg = SimConfig::default();
+            cfg.node_cores = 1;
+            if hog {
+                cfg.disturbances.push(Disturbance::CpuHog {
+                    node: 0,
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(3600),
+                    weight: 24.0,
+                });
+            }
+            let res = run_sim(&mut fs, &names(2), ws, st, &cfg);
+            (
+                res.workers[0].finished_at.unwrap(),
+                res.workers[1].finished_at.unwrap(),
+            )
+        };
+        let (clean0, clean1) = run(false);
+        let (hog0, hog1) = run(true);
+        assert!(hog0 > clean0, "hogged node slower: {clean0} → {hog0}");
+        let slowdown1 = hog1.as_secs_f64() / clean1.as_secs_f64();
+        assert!(
+            slowdown1 < 1.5,
+            "other node barely affected: {slowdown1}"
+        );
+    }
+
+    #[test]
+    fn server_pause_creates_progress_gap() {
+        let mut fs = LocalFs::with_defaults();
+        let ws = workers(1, 1);
+        let st = streams_for(&ws, 100_000);
+        let mut cfg = SimConfig::default();
+        cfg.disturbances.push(Disturbance::ServerPause {
+            server: 0,
+            at: SimTime::from_millis(200),
+            duration: SimDuration::from_millis(500),
+        });
+        let res = run_sim(&mut fs, &names(1), ws, st, &cfg);
+        // find progress during [200ms, 700ms): should be ~zero
+        let s = &res.workers[0].samples;
+        let at = |t: SimTime| {
+            s.iter()
+                .take_while(|(ts, _)| *ts <= t)
+                .map(|&(_, n)| n)
+                .last()
+                .unwrap_or(0)
+        };
+        let before = at(SimTime::from_millis(300));
+        let during = at(SimTime::from_millis(600));
+        let end = at(SimTime::from_millis(1200));
+        assert!(during - before <= 1, "no progress while paused");
+        assert!(end > during, "progress resumes after the pause");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut fs = NfsFs::with_defaults();
+            let ws = workers(3, 2);
+            let st = streams_for(&ws, 500);
+            run_sim(&mut fs, &names(3), ws, st, &SimConfig::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.total_ops(), b.total_ops());
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.samples, wb.samples);
+        }
+    }
+
+    #[test]
+    fn worker_weights_shift_throughput() {
+        // two workers on one single-core node with very different weights:
+        // the favoured one must finish first (priority scheduling, §4.4)
+        let mut fs = LocalFs::with_defaults();
+        let ws = vec![
+            WorkerSpec {
+                node: 0,
+                proc: 0,
+                cpu_weight: 4.0,
+            },
+            WorkerSpec {
+                node: 0,
+                proc: 1,
+                cpu_weight: 0.25,
+            },
+        ];
+        let st = streams_for(&ws, 2000);
+        let mut cfg = SimConfig::default();
+        cfg.node_cores = 1;
+        let res = run_sim(&mut fs, &names(1), ws, st, &cfg);
+        let f0 = res.workers[0].finished_at.unwrap();
+        let f1 = res.workers[1].finished_at.unwrap();
+        assert!(f0 < f1, "high-priority worker finishes first: {f0} vs {f1}");
+    }
+
+    #[test]
+    fn errors_counted_not_fatal() {
+        let mut fs = LocalFs::with_defaults();
+        let ws = workers(1, 1);
+        // every op creates the same path → all but the first error out
+        let st: Vec<Box<dyn OpStream>> = vec![Box::new(|i: u64| {
+            if i < 1 {
+                Some(MetaOp::Create {
+                    path: "/w/same".into(),
+                    data_bytes: 0,
+                })
+            } else {
+                None
+            }
+        })];
+        let res = run_sim(&mut fs, &names(1), ws, st, &SimConfig::default());
+        assert_eq!(res.total_ops(), 1);
+        assert_eq!(res.workers[0].errors, 0);
+    }
+}

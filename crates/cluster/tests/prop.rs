@@ -1,0 +1,209 @@
+//! Property-based tests of the simulation engine: operation conservation,
+//! monotone progress, and determinism over random workloads and models.
+
+use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
+use dfs::{DistFs, LocalFs, LustreFs, MetaOp, NfsFs};
+use proptest::prelude::*;
+
+fn fixed_streams(specs: &[(usize, usize, u64)]) -> Vec<Box<dyn OpStream>> {
+    specs
+        .iter()
+        .map(|&(node, proc, count)| {
+            let dir = format!("/bench/n{node}p{proc}");
+            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
+                if i < count {
+                    Some(MetaOp::Create {
+                        path: format!("{dir}/f{i}"),
+                        data_bytes: 0,
+                    })
+                } else {
+                    None
+                }
+            });
+            s
+        })
+        .collect()
+}
+
+fn model(kind: u8) -> Box<dyn DistFs> {
+    match kind % 3 {
+        0 => Box::new(LocalFs::with_defaults()),
+        1 => Box::new(NfsFs::with_defaults()),
+        _ => Box::new(LustreFs::with_defaults()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every operation a stream produces is executed exactly once: the
+    /// engine conserves work regardless of model, node layout, or count.
+    #[test]
+    fn engine_conserves_operations(
+        kind in 0u8..3,
+        layout in prop::collection::vec((0usize..3, 1u64..120), 1..6),
+    ) {
+        let specs: Vec<(usize, usize, u64)> = layout
+            .iter()
+            .enumerate()
+            .map(|(i, &(node, count))| (node, i, count))
+            .collect();
+        let mut m = model(kind);
+        let workers: Vec<WorkerSpec> =
+            specs.iter().map(|&(n, p, _)| WorkerSpec::new(n, p)).collect();
+        let streams = fixed_streams(&specs);
+        let names: Vec<String> = (0..3).map(|i| format!("node{i}")).collect();
+        let res = run_sim(m.as_mut(), &names, workers, streams, &SimConfig::default());
+        let expected: u64 = specs.iter().map(|&(_, _, c)| c).sum();
+        prop_assert_eq!(res.total_ops(), expected);
+        for (w, &(_, _, count)) in res.workers.iter().zip(&specs) {
+            prop_assert_eq!(w.ops_done, count);
+            prop_assert_eq!(w.errors, 0);
+            prop_assert!(w.finished_at.is_some());
+            // samples are monotone and end at the worker's total
+            prop_assert!(w.samples.windows(2).all(|p| p[0].1 <= p[1].1 && p[0].0 <= p[1].0));
+            if let Some(&(_, last)) = w.samples.last() {
+                prop_assert_eq!(last, count);
+            }
+            // latency histogram saw every op
+            prop_assert_eq!(w.latency.count(), count);
+        }
+    }
+
+    /// Two identical runs produce byte-identical traces.
+    #[test]
+    fn engine_is_deterministic(
+        kind in 0u8..3,
+        nodes in 1usize..4,
+        ppn in 1usize..3,
+        count in 1u64..150,
+    ) {
+        let run = || {
+            let mut m = model(kind);
+            let mut specs = Vec::new();
+            for n in 0..nodes {
+                for p in 0..ppn {
+                    specs.push((n, p, count));
+                }
+            }
+            let workers: Vec<WorkerSpec> =
+                specs.iter().map(|&(n, p, _)| WorkerSpec::new(n, p)).collect();
+            let streams = fixed_streams(&specs);
+            let names: Vec<String> = (0..nodes).map(|i| format!("node{i}")).collect();
+            run_sim(m.as_mut(), &names, workers, streams, &SimConfig::default())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.wall_time, b.wall_time);
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            prop_assert_eq!(&wa.samples, &wb.samples);
+            prop_assert_eq!(wa.finished_at, wb.finished_at);
+        }
+    }
+
+    /// Stonewall throughput never exceeds what the op count and first-finish
+    /// time permit, and wall-clock time covers the slowest worker.
+    #[test]
+    fn timing_invariants(
+        kind in 0u8..3,
+        counts in prop::collection::vec(1u64..100, 1..5),
+    ) {
+        let specs: Vec<(usize, usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (0usize, i, c))
+            .collect();
+        let mut m = model(kind);
+        let workers: Vec<WorkerSpec> =
+            specs.iter().map(|&(n, p, _)| WorkerSpec::new(n, p)).collect();
+        let streams = fixed_streams(&specs);
+        let res = run_sim(
+            m.as_mut(),
+            &["node0".to_owned()],
+            workers,
+            streams,
+            &SimConfig::default(),
+        );
+        let last_finish = res
+            .workers
+            .iter()
+            .filter_map(|w| w.finished_at)
+            .max()
+            .expect("all finish");
+        prop_assert_eq!(res.wall_time, last_finish);
+        let sw = res.stonewall_ops_per_sec();
+        prop_assert!(sw.is_finite() && sw >= 0.0);
+        let first_finish = res
+            .workers
+            .iter()
+            .filter_map(|w| w.finished_at)
+            .min()
+            .expect("all finish");
+        let bound = res.total_ops() as f64 / first_finish.as_secs_f64();
+        prop_assert!(sw <= bound * 1.0001, "{sw} > {bound}");
+    }
+}
+
+mod placement_props {
+    use cluster::{execution_plan, MpiWorld, Placement};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Worker ordering covers every non-master slot exactly once.
+        #[test]
+        fn ordering_is_a_permutation(hosts in prop::collection::vec(0u8..5, 1..24)) {
+            let world = MpiWorld::new(hosts.iter().map(|h| format!("node{h}")).collect());
+            let p = Placement::discover(&world);
+            let mut ranks: Vec<usize> = p.ordered_workers().iter().map(|&(r, _)| r).collect();
+            ranks.sort_unstable();
+            let mut expected: Vec<usize> = (0..world.len()).filter(|&r| r != p.master_rank).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(ranks, expected);
+        }
+
+        /// Every run in the execution plan selects exactly nodes × ppn
+        /// distinct workers, each on a distinct-enough node.
+        #[test]
+        fn plan_runs_are_well_formed(
+            hosts in prop::collection::vec(0u8..4, 2..20),
+            node_step in 1usize..4,
+            ppn_step in 1usize..4,
+        ) {
+            let world = MpiWorld::new(hosts.iter().map(|h| format!("node{h}")).collect());
+            let p = Placement::discover(&world);
+            for run in execution_plan(&p, node_step, ppn_step) {
+                prop_assert_eq!(run.workers.len(), run.nodes * run.ppn);
+                // distinct ranks
+                let mut ranks: Vec<usize> = run.workers.iter().map(|&(r, _)| r).collect();
+                ranks.sort_unstable();
+                ranks.dedup();
+                prop_assert_eq!(ranks.len(), run.nodes * run.ppn);
+                // exactly `nodes` distinct nodes with `ppn` workers each
+                let mut nodes: Vec<usize> = run.workers.iter().map(|&(_, n)| n).collect();
+                nodes.sort_unstable();
+                let mut counts = std::collections::BTreeMap::new();
+                for n in nodes {
+                    *counts.entry(n).or_insert(0usize) += 1;
+                }
+                prop_assert_eq!(counts.len(), run.nodes);
+                prop_assert!(counts.values().all(|&c| c == run.ppn));
+            }
+        }
+
+        /// The master lives on a node with the maximal slot count.
+        #[test]
+        fn master_on_a_busiest_node(hosts in prop::collection::vec(0u8..4, 1..20)) {
+            let world = MpiWorld::new(hosts.iter().map(|h| format!("node{h}")).collect());
+            let p = Placement::discover(&world);
+            let slot_counts: Vec<usize> = p
+                .node_names
+                .iter()
+                .map(|name| world.slots().iter().filter(|h| *h == name).count())
+                .collect();
+            let max = slot_counts.iter().max().copied().unwrap_or(0);
+            let master_host = &world.slots()[p.master_rank];
+            let master_node = p.node_names.iter().position(|n| n == master_host).unwrap();
+            prop_assert_eq!(slot_counts[master_node], max);
+        }
+    }
+}

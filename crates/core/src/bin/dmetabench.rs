@@ -1,0 +1,237 @@
+//! The `dmetabench` command-line tool — the Rust counterpart of the paper's
+//! `mpirun -np 15 dmetabench.py --ppnstep=5 --problemsize=10000
+//! --operations MakeFile,StatFiles --workdir=... --label=...` invocation
+//! (listing 3.2).
+//!
+//! Simulated mode stands in for the MPI launch: `--nodes`/`--slots-per-node`
+//! describe the world, `--fs` picks the distributed-file-system model.
+//! Real mode (`--mode real`) drives actual file-system syscalls on
+//! `--workdir` with worker threads.
+
+use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
+use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
+use dmetabench::{all_plugin_names, BenchParams, Runner};
+use simcore::SimDuration;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dmetabench — distributed metadata benchmark (Rust reproduction)
+
+USAGE:
+  dmetabench [OPTIONS]
+
+OPTIONS:
+  --mode <sim|real>          execution mode               [default: sim]
+  --fs <MODEL>               sim model: nfs, lustre, cxfs, ontapgx, afs,
+                             local                        [default: nfs]
+  --nodes <N>                simulated nodes              [default: 4]
+  --slots-per-node <N>       simulated MPI slots per node [default: 2]
+  --operations <A,B,...>     comma-separated plugin list  [default: MakeFiles]
+  --problemsize <N>          per-process problem size     [default: 5000]
+  --duration <SECONDS>       timed-benchmark duration     [default: 60]
+  --workdir <PATH>           working directory            [default: /bench]
+  --pathlist <P1,P2,...>     per-process path list (overrides workdir layout)
+  --nodestep <N>             node count step              [default: 1]
+  --ppnstep <N>              processes-per-node step      [default: 1]
+  --label <TEXT>             result label                 [default: cli-run]
+  --output <DIR>             write result files here
+  --threads <N>              real mode: max worker threads [default: 4]
+  --list-operations          print available plugins and exit
+  --help                     print this help
+
+EXAMPLES:
+  dmetabench --fs lustre --nodes 8 --operations MakeFiles,StatFiles
+  dmetabench --mode real --workdir /mnt/nfs/testdir --threads 8 \\
+             --operations MakeFiles --duration 10 --output ./results
+";
+
+struct Cli {
+    mode: String,
+    fs: String,
+    nodes: usize,
+    slots_per_node: usize,
+    threads: usize,
+    output: Option<PathBuf>,
+    params: BenchParams,
+}
+
+fn parse_args() -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        mode: "sim".into(),
+        fs: "nfs".into(),
+        nodes: 4,
+        slots_per_node: 2,
+        threads: 4,
+        output: None,
+        params: BenchParams {
+            label: "cli-run".into(),
+            ..BenchParams::default()
+        },
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-operations" => {
+                for name in all_plugin_names() {
+                    println!("{name}");
+                }
+                return Ok(None);
+            }
+            "--mode" => cli.mode = value("--mode")?,
+            "--fs" => cli.fs = value("--fs")?,
+            "--nodes" => {
+                cli.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--slots-per-node" => {
+                cli.slots_per_node = value("--slots-per-node")?
+                    .parse()
+                    .map_err(|e| format!("--slots-per-node: {e}"))?
+            }
+            "--threads" => {
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--operations" => {
+                cli.params.operations = value("--operations")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--problemsize" => {
+                cli.params.problem_size = value("--problemsize")?
+                    .parse()
+                    .map_err(|e| format!("--problemsize: {e}"))?
+            }
+            "--duration" => {
+                let secs: f64 = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
+                cli.params.duration = SimDuration::from_secs_f64(secs);
+            }
+            "--workdir" => cli.params.workdir = value("--workdir")?,
+            "--pathlist" => {
+                cli.params.path_list = Some(
+                    value("--pathlist")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .collect(),
+                );
+            }
+            "--nodestep" => {
+                cli.params.node_step = value("--nodestep")?
+                    .parse()
+                    .map_err(|e| format!("--nodestep: {e}"))?
+            }
+            "--ppnstep" => {
+                cli.params.ppn_step = value("--ppnstep")?
+                    .parse()
+                    .map_err(|e| format!("--ppnstep: {e}"))?
+            }
+            "--label" => cli.params.label = value("--label")?,
+            "--output" => cli.output = Some(PathBuf::from(value("--output")?)),
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    for op in &cli.params.operations {
+        if dmetabench::plugin_by_name(op).is_none() {
+            return Err(format!(
+                "unknown operation '{op}' (try --list-operations)"
+            ));
+        }
+    }
+    Ok(Some(cli))
+}
+
+fn model_factory(fs: &str) -> Result<Box<dyn Fn() -> Box<dyn DistFs>>, String> {
+    let f: Box<dyn Fn() -> Box<dyn DistFs>> = match fs {
+        "nfs" => Box::new(|| Box::new(NfsFs::with_defaults())),
+        "lustre" => Box::new(|| Box::new(LustreFs::with_defaults())),
+        "cxfs" => Box::new(|| Box::new(CxfsFs::with_defaults())),
+        "ontapgx" => Box::new(|| Box::new(OntapGxFs::with_defaults())),
+        "afs" => Box::new(|| Box::new(AfsFs::with_defaults())),
+        "local" => Box::new(|| Box::new(LocalFs::with_defaults())),
+        other => return Err(format!("unknown --fs '{other}'")),
+    };
+    Ok(f)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let campaign = match cli.mode.as_str() {
+        "sim" => {
+            let factory = match model_factory(&cli.fs) {
+                Ok(f) => f,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // volume-addressed models need volume-prefixed directories
+            let mut params = cli.params.clone();
+            if matches!(cli.fs.as_str(), "ontapgx" | "afs") && params.path_list.is_none() {
+                params.workdir = format!("/vol0{}", params.workdir);
+            }
+            let world = MpiWorld::uniform(cli.nodes, cli.slots_per_node);
+            let placement = Placement::discover(&world);
+            eprintln!(
+                "simulated world: {} nodes x {} slots, model '{}', master rank {}",
+                cli.nodes, cli.slots_per_node, cli.fs, placement.master_rank
+            );
+            Runner::new(params).run_simulated(&placement, factory, &SimConfig::default())
+        }
+        "real" => {
+            let workdir = cli.params.workdir.clone();
+            eprintln!(
+                "real mode: up to {} worker threads on {}",
+                cli.threads, workdir
+            );
+            let mut params = cli.params.clone();
+            // StdFs jails paths under its root; plugins see "/"
+            params.workdir = "/".into();
+            Runner::new(params).run_real(
+                move |_| {
+                    Box::new(
+                        memfs::StdFs::new(&workdir)
+                            .expect("working directory must be creatable/writable"),
+                    )
+                },
+                cli.threads,
+                &ThreadRunConfig::default(),
+            )
+        }
+        other => {
+            eprintln!("error: unknown --mode '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", campaign.summary_tsv());
+    if let Some(dir) = cli.output {
+        if let Err(e) = campaign.write_to_dir(&dir) {
+            eprintln!("error: cannot write results to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("results written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}

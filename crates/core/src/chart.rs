@@ -1,0 +1,375 @@
+//! Chart generation (paper §3.3.10): the combined time chart, the
+//! performance-vs-processes chart and the performance-vs-nodes chart.
+//!
+//! The paper delegates plotting to Ploticus; this reproduction renders the
+//! same three chart types itself — as ASCII for terminals and test
+//! assertions, and as standalone SVG for reports — with automatic axis
+//! scaling.
+
+use crate::preprocess::Preprocessed;
+
+/// A named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+fn bounds(series: &[Series]) -> (f64, f64, f64, f64) {
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() {
+        (0.0, 1.0, 0.0, 1.0)
+    } else {
+        let ymin = ymin.min(0.0);
+        (
+            xmin,
+            if xmax > xmin { xmax } else { xmin + 1.0 },
+            ymin,
+            if ymax > ymin { ymax } else { ymin + 1.0 },
+        )
+    }
+}
+
+/// Render series as an ASCII chart of roughly `width`×`height` characters.
+pub fn ascii_chart(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(20);
+    let height = height.max(5);
+    let (xmin, xmax, ymin, ymax) = bounds(series);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            let gx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let gy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - gy.min(height - 1);
+            grid[row][gx.min(width - 1)] = marker;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{ylabel} (max {ymax:.0})\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat('-').take(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{xlabel}: {xmin:.2} .. {xmax:.2}\n"
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.label));
+    }
+    out
+}
+
+/// Render series as a standalone SVG document.
+pub fn svg_chart(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let (xmin, xmax, ymin, ymax) = bounds(series);
+    let (w, h) = (width.max(200) as f64, height.max(150) as f64);
+    let (ml, mr, mt, mb) = (60.0, 20.0, 30.0, 45.0);
+    let px = |x: f64| ml + (x - xmin) / (xmax - xmin) * (w - ml - mr);
+    let py = |y: f64| h - mb - (y - ymin) / (ymax - ymin) * (h - mt - mb);
+    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">
+<rect width="{w}" height="{h}" fill="white"/>
+<text x="{tx}" y="18" text-anchor="middle" font-family="sans-serif" font-size="13">{title}</text>
+"#,
+        tx = w / 2.0,
+    );
+    // axes
+    svg.push_str(&format!(
+        r#"<line x1="{ml}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>
+<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{y0}" stroke="black"/>
+"#,
+        y0 = h - mb,
+        x1 = w - mr,
+    ));
+    // ticks: 5 on each axis
+    for k in 0..=4 {
+        let xv = xmin + (xmax - xmin) * k as f64 / 4.0;
+        let yv = ymin + (ymax - ymin) * k as f64 / 4.0;
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="10">{:.4}</text>
+"#,
+            px(xv),
+            h - mb + 14.0,
+            trim_num(xv)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-family="sans-serif" font-size="10">{:.4}</text>
+"#,
+            ml - 4.0,
+            py(yv) + 3.0,
+            trim_num(yv)
+        ));
+    }
+    svg.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="11">{xlabel}</text>
+<text x="14" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="11" transform="rotate(-90 14 {cy:.1})">{ylabel}</text>
+"#,
+        w / 2.0,
+        h - 6.0,
+        (h - mb + mt) / 2.0,
+        cy = (h - mb + mt) / 2.0,
+    ));
+    for (si, s) in series.iter().enumerate() {
+        let color = colors[si % colors.len()];
+        if s.points.len() > 1 {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            svg.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>
+"#,
+                pts.join(" ")
+            ));
+        }
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}"/>
+"#,
+                px(x),
+                py(y)
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" fill="{color}">{}</text>
+"#,
+            w - mr - 150.0,
+            mt + 14.0 * (si as f64 + 1.0),
+            s.label
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn trim_num(v: f64) -> f64 {
+    // keep tick labels short
+    if v.abs() >= 100.0 {
+        v.round()
+    } else {
+        (v * 100.0).round() / 100.0
+    }
+}
+
+/// The combined time chart of §3.3.10 / Fig. 3.11: operations completed,
+/// per-process COV, and total throughput as functions of time (ASCII).
+pub fn time_chart(pre: &Preprocessed) -> String {
+    let completed = Series::new(
+        "operations completed",
+        pre.intervals
+            .iter()
+            .map(|r| (r.timestamp, r.total_done as f64))
+            .collect(),
+    );
+    let cov = Series::new(
+        "per-process ops/s coefficient of variation",
+        pre.intervals.iter().map(|r| (r.timestamp, r.cov)).collect(),
+    );
+    let tp = Series::new(
+        "operations/s",
+        pre.intervals
+            .iter()
+            .map(|r| (r.timestamp, r.throughput))
+            .collect(),
+    );
+    let title = format!(
+        "{} — {} nodes × {} ppn",
+        pre.operation, pre.nodes, pre.ppn
+    );
+    let mut out = String::new();
+    out.push_str(&ascii_chart(
+        &title,
+        "time [s]",
+        "Operations Completed",
+        &[completed],
+        70,
+        12,
+    ));
+    out.push_str(&ascii_chart("", "time [s]", "COV", &[cov], 70, 8));
+    out.push_str(&ascii_chart("", "time [s]", "Operations/s", &[tp], 70, 12));
+    out
+}
+
+/// The combined time chart as a single SVG with three stacked panels.
+pub fn svg_time_chart(pre: &Preprocessed) -> String {
+    let title = format!("{} — {} nodes × {} ppn", pre.operation, pre.nodes, pre.ppn);
+    let completed = Series::new(
+        "completed",
+        pre.intervals
+            .iter()
+            .map(|r| (r.timestamp, r.total_done as f64))
+            .collect(),
+    );
+    let cov = Series::new(
+        "COV",
+        pre.intervals.iter().map(|r| (r.timestamp, r.cov)).collect(),
+    );
+    let tp = Series::new(
+        "ops/s",
+        pre.intervals
+            .iter()
+            .map(|r| (r.timestamp, r.throughput))
+            .collect(),
+    );
+    let p1 = svg_chart(&title, "time [s]", "Operations Completed", &[completed], 640, 220);
+    let p2 = svg_chart("", "time [s]", "COV", &[cov], 640, 160);
+    let p3 = svg_chart("", "time [s]", "Operations/s", &[tp], 640, 220);
+    // stack by wrapping into one outer SVG
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="640" height="600">
+<g transform="translate(0,0)">{p1}</g>
+<g transform="translate(0,220)">{p2}</g>
+<g transform="translate(0,380)">{p3}</g>
+</svg>
+"#
+    )
+}
+
+/// Performance-vs-processes chart (Fig. 3.12): one point per measurement,
+/// several measurements comparable as separate series.
+pub fn processes_chart(series: &[Series]) -> String {
+    ascii_chart(
+        "Performance vs. number of processes",
+        "Number of processes",
+        "Total operations/s",
+        series,
+        70,
+        14,
+    )
+}
+
+/// Performance-vs-nodes chart (Fig. 3.13).
+pub fn nodes_chart(series: &[Series]) -> String {
+    ascii_chart(
+        "Performance vs. number of nodes",
+        "Number of nodes",
+        "Total operations/s",
+        series,
+        70,
+        14,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new("fs A", vec![(1.0, 100.0), (2.0, 190.0), (4.0, 350.0)]),
+            Series::new("fs B", vec![(1.0, 80.0), (2.0, 90.0), (4.0, 95.0)]),
+        ]
+    }
+
+    #[test]
+    fn ascii_chart_contains_markers_and_legend() {
+        let c = ascii_chart("demo", "x", "y", &demo_series(), 40, 10);
+        assert!(c.contains('*'));
+        assert!(c.contains('+'));
+        assert!(c.contains("fs A"));
+        assert!(c.contains("fs B"));
+        assert!(c.contains("x: 1.00 .. 4.00"));
+    }
+
+    #[test]
+    fn svg_chart_is_wellformed() {
+        let svg = svg_chart("demo", "x", "y", &demo_series(), 640, 480);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let c = ascii_chart("empty", "x", "y", &[], 40, 10);
+        assert!(c.contains("empty"));
+        let svg = svg_chart("empty", "x", "y", &[], 300, 200);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let s = [Series::new("one", vec![(5.0, 5.0)])];
+        let c = ascii_chart("one", "x", "y", &s, 40, 10);
+        assert!(c.contains('*'));
+        let svg = svg_chart("one", "x", "y", &s, 300, 200);
+        assert!(svg.contains("circle"));
+        assert!(!svg.contains("polyline"), "no line for a single point");
+    }
+
+    #[test]
+    fn charts_from_preprocessed() {
+        use crate::preprocess::preprocess;
+        use crate::result::{ProcessTrace, ResultSet};
+        let rs = ResultSet {
+            operation: "MakeFiles".into(),
+            fs_name: "nfs".into(),
+            nodes: 1,
+            ppn: 1,
+            interval_s: 0.1,
+            processes: vec![ProcessTrace {
+                hostname: "h".into(),
+                process_no: 0,
+                samples: vec![(0.1, 10), (0.2, 30), (0.3, 60)],
+                finished_at: Some(0.3),
+                ops_done: 60,
+                errors: 0,
+            }],
+        };
+        let pre = preprocess(&rs, &[]);
+        let tc = time_chart(&pre);
+        assert!(tc.contains("MakeFiles"));
+        assert!(tc.contains("Operations Completed"));
+        assert!(tc.contains("COV"));
+        let svg = svg_time_chart(&pre);
+        assert!(svg.matches("<svg").count() >= 3, "three stacked panels");
+    }
+}

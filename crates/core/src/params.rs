@@ -1,0 +1,169 @@
+//! Benchmark parameters (paper §3.3.5, Table 3.4) and worker contexts.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Explicit DMetabench parameters (the implicit ones — slot count and
+/// placement — come from the [`cluster::MpiWorld`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchParams {
+    /// Operations to run, by plugin name (`MakeFiles`, `StatFiles`, …).
+    pub operations: Vec<String>,
+    /// Problem size: per-process operation count for fixed-size benchmarks,
+    /// and the per-directory file limit for timed ones (§3.3.7).
+    pub problem_size: u64,
+    /// Target directory all processes share an ancestor under (§3.3.6).
+    pub workdir: String,
+    /// Optional per-process path list (one directory per process, matched
+    /// in worker order — namespace-aggregated file systems, §3.3.6).
+    pub path_list: Option<Vec<String>>,
+    /// Node step (test 1, s, 2s, … nodes; §3.3.5).
+    pub node_step: usize,
+    /// Processes-per-node step.
+    pub ppn_step: usize,
+    /// Run duration for timed benchmarks like MakeFiles (the paper uses
+    /// 60 s; tests and examples shrink it).
+    pub duration: SimDuration,
+    /// Progress-sampling interval (default 0.1 s).
+    pub sample_interval: SimDuration,
+    /// Free-form label stored with results (`--label`).
+    pub label: String,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            operations: vec!["MakeFiles".to_owned()],
+            problem_size: 5000,
+            workdir: "/bench".to_owned(),
+            path_list: None,
+            node_step: 1,
+            ppn_step: 1,
+            duration: SimDuration::from_secs(60),
+            sample_interval: SimDuration::from_millis(100),
+            label: "unlabeled".to_owned(),
+        }
+    }
+}
+
+/// Everything a plugin needs to know about one worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCtx {
+    /// Global worker index within the run (worker order, §3.3.4).
+    pub index: usize,
+    /// Node index.
+    pub node: usize,
+    /// Process index within the node.
+    pub proc: usize,
+    /// Total workers in the run.
+    pub nprocs: usize,
+    /// This worker's private working directory.
+    pub workdir: String,
+    /// A directory shared by all workers of the run (MakeOnedirFiles).
+    pub shared_dir: String,
+    /// The working directory of this worker's peer on another node
+    /// (StatMultinodeFiles); equals `workdir` in single-node runs.
+    pub peer_workdir: String,
+    /// Per-process problem size.
+    pub problem_size: u64,
+    /// Maximum files per subdirectory before rotating to a new one
+    /// (§3.3.7).
+    pub dir_limit: u64,
+}
+
+impl WorkerCtx {
+    /// Compute worker contexts for a run.
+    ///
+    /// `workers` is the ordered `(node, proc)` list; directories default to
+    /// `{workdir}/p{index}` or come from `path_list` matched by worker
+    /// order (Fig. 3.10). Peers pair workers with the same `proc` on the
+    /// next node (wrapping), so the peer is on a *different* node whenever
+    /// more than one node participates.
+    pub fn build(
+        workers: &[(usize, usize)],
+        params: &BenchParams,
+        nodes_in_run: usize,
+    ) -> Vec<WorkerCtx> {
+        let n = workers.len();
+        let dir_of = |index: usize| -> String {
+            match &params.path_list {
+                Some(list) if index < list.len() => list[index].clone(),
+                _ => format!("{}/p{index}", params.workdir),
+            }
+        };
+        workers
+            .iter()
+            .enumerate()
+            .map(|(index, &(node, proc))| {
+                // peer: same proc slot on the next participating node
+                let peer_index = workers
+                    .iter()
+                    .position(|&(pn, pp)| {
+                        pp == proc && pn == (node + 1) % nodes_in_run.max(1)
+                    })
+                    .unwrap_or(index);
+                WorkerCtx {
+                    index,
+                    node,
+                    proc,
+                    nprocs: n,
+                    workdir: dir_of(index),
+                    shared_dir: format!("{}/shared", params.workdir),
+                    peer_workdir: dir_of(peer_index),
+                    problem_size: params.problem_size,
+                    dir_limit: params.problem_size.max(1),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_directories_are_per_process() {
+        let params = BenchParams::default();
+        let workers = vec![(0, 0), (1, 0), (0, 1), (1, 1)];
+        let ctxs = WorkerCtx::build(&workers, &params, 2);
+        assert_eq!(ctxs[0].workdir, "/bench/p0");
+        assert_eq!(ctxs[3].workdir, "/bench/p3");
+        assert_eq!(ctxs[0].shared_dir, "/bench/shared");
+        assert_eq!(ctxs[0].nprocs, 4);
+    }
+
+    #[test]
+    fn path_list_matched_in_worker_order() {
+        let mut params = BenchParams::default();
+        params.path_list = Some(vec![
+            "/vol0/a".into(),
+            "/vol1/b".into(),
+            "/vol2/c".into(),
+        ]);
+        let workers = vec![(0, 0), (1, 0), (0, 1)];
+        let ctxs = WorkerCtx::build(&workers, &params, 2);
+        assert_eq!(ctxs[0].workdir, "/vol0/a");
+        assert_eq!(ctxs[1].workdir, "/vol1/b");
+        assert_eq!(ctxs[2].workdir, "/vol2/c");
+    }
+
+    #[test]
+    fn peers_are_on_other_nodes() {
+        let params = BenchParams::default();
+        let workers = vec![(0, 0), (1, 0), (0, 1), (1, 1)];
+        let ctxs = WorkerCtx::build(&workers, &params, 2);
+        // worker 0 (node 0, proc 0) pairs with worker 1 (node 1, proc 0)
+        assert_eq!(ctxs[0].peer_workdir, ctxs[1].workdir);
+        assert_eq!(ctxs[1].peer_workdir, ctxs[0].workdir);
+        assert_eq!(ctxs[2].peer_workdir, ctxs[3].workdir);
+    }
+
+    #[test]
+    fn single_node_peer_is_self() {
+        let params = BenchParams::default();
+        let workers = vec![(0, 0), (0, 1)];
+        let ctxs = WorkerCtx::build(&workers, &params, 1);
+        assert_eq!(ctxs[0].peer_workdir, ctxs[0].workdir);
+    }
+}

@@ -1,0 +1,656 @@
+//! The pre-defined benchmark plugins of paper Table 3.5, plus the plugin
+//! trait custom operations implement (§3.2.4 "Extendability").
+//!
+//! A plugin describes the three phases of §3.3.3 — `prepare`, `doBench`,
+//! `cleanup` — as [`MetaOp`] generators, so the identical plugin code runs
+//! on the in-memory substrate, the real kernel file system, and all
+//! simulated distributed models.
+
+use dfs::MetaOp;
+
+use crate::params::WorkerCtx;
+
+/// How the measured phase is bounded (§3.3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemMode {
+    /// Run for the configured duration, completing as many operations as
+    /// possible (MakeFiles-style; needs no precondition).
+    Timed,
+    /// Perform exactly `problem_size` operations per process
+    /// (DeleteFiles/StatFiles-style; preconditions created in `prepare`).
+    Fixed,
+}
+
+/// A benchmark operation plugin.
+///
+/// Implement this trait to add custom operations (the paper's listing 3.1
+/// shows the Python equivalent); the ten pre-defined plugins are available
+/// through [`plugin_by_name`] and [`all_plugin_names`].
+pub trait BenchmarkPlugin: Send + Sync {
+    /// Plugin name as used in the `--operations` parameter.
+    fn name(&self) -> &'static str;
+
+    /// How the measured phase is bounded.
+    fn mode(&self) -> ProblemMode;
+
+    /// Operations executed (unmeasured) before the benchmark phase.
+    fn prepare_ops(&self, _ctx: &WorkerCtx) -> Vec<MetaOp> {
+        Vec::new()
+    }
+
+    /// Whether client caches must be dropped between prepare and doBench
+    /// (StatNocacheFiles, §3.4.3).
+    fn drop_caches_after_prepare(&self) -> bool {
+        false
+    }
+
+    /// The measured operation stream. `index` is the number of operations
+    /// completed so far; `None` ends a [`ProblemMode::Fixed`] run.
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send>;
+
+    /// Operations executed (unmeasured) after the benchmark phase;
+    /// `ops_done` is how many measured operations completed.
+    fn cleanup_ops(&self, _ctx: &WorkerCtx, _ops_done: u64) -> Vec<MetaOp> {
+        Vec::new()
+    }
+}
+
+/// File path for the `i`-th file of a worker, rotating to a fresh
+/// subdirectory every `dir_limit` files (§3.3.7 "Internal metadata
+/// scaling").
+fn rotated_path(workdir: &str, i: u64, dir_limit: u64) -> String {
+    format!("{workdir}/sub{}/f{}", i / dir_limit.max(1), i)
+}
+
+// ---------------------------------------------------------------------------
+// Creation benchmarks
+// ---------------------------------------------------------------------------
+
+/// MakeFiles: create as many empty files as possible within the run
+/// duration using `open()`/`close()`; `problem_size` bounds files per
+/// subdirectory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakeFiles;
+
+/// MakeFiles64byte: like MakeFiles but writes 64 bytes into each file (the
+/// WAFL inline-allocation probe, §4.3.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakeFiles64byte;
+
+/// MakeFiles65byte: like MakeFiles but writes 65 bytes — one byte past the
+/// inline limit, forcing block allocation (§4.3.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakeFiles65byte;
+
+/// MakeOnedirFiles: all processes create files in one *common* directory;
+/// each of the n processes creates `problem_size / n` files (§4.3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakeOnedirFiles;
+
+/// MakeDirs: like MakeFiles but creates directories with `mkdir()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakeDirs;
+
+macro_rules! timed_create_plugin {
+    ($ty:ident, $name:literal, $bytes:expr) => {
+        impl BenchmarkPlugin for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn mode(&self) -> ProblemMode {
+                ProblemMode::Timed
+            }
+            fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+                let workdir = ctx.workdir.clone();
+                let limit = ctx.dir_limit;
+                Box::new(move |i| {
+                    Some(MetaOp::Create {
+                        path: rotated_path(&workdir, i, limit),
+                        data_bytes: $bytes,
+                    })
+                })
+            }
+            fn cleanup_ops(&self, ctx: &WorkerCtx, ops_done: u64) -> Vec<MetaOp> {
+                (0..ops_done)
+                    .map(|i| MetaOp::Unlink {
+                        path: rotated_path(&ctx.workdir, i, ctx.dir_limit),
+                    })
+                    .collect()
+            }
+        }
+    };
+}
+
+timed_create_plugin!(MakeFiles, "MakeFiles", 0);
+timed_create_plugin!(MakeFiles64byte, "MakeFiles64byte", 64);
+timed_create_plugin!(MakeFiles65byte, "MakeFiles65byte", 65);
+
+impl BenchmarkPlugin for MakeOnedirFiles {
+    fn name(&self) -> &'static str {
+        "MakeOnedirFiles"
+    }
+    fn mode(&self) -> ProblemMode {
+        ProblemMode::Fixed
+    }
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+        let shared = ctx.shared_dir.clone();
+        let index = ctx.index;
+        let quota = ctx.problem_size / ctx.nprocs.max(1) as u64;
+        Box::new(move |i| {
+            if i < quota {
+                Some(MetaOp::Create {
+                    path: format!("{shared}/p{index}_f{i}"),
+                    data_bytes: 0,
+                })
+            } else {
+                None
+            }
+        })
+    }
+    fn cleanup_ops(&self, ctx: &WorkerCtx, ops_done: u64) -> Vec<MetaOp> {
+        (0..ops_done)
+            .map(|i| MetaOp::Unlink {
+                path: format!("{}/p{}_f{i}", ctx.shared_dir, ctx.index),
+            })
+            .collect()
+    }
+}
+
+impl BenchmarkPlugin for MakeDirs {
+    fn name(&self) -> &'static str {
+        "MakeDirs"
+    }
+    fn mode(&self) -> ProblemMode {
+        ProblemMode::Timed
+    }
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+        let workdir = ctx.workdir.clone();
+        let limit = ctx.dir_limit;
+        Box::new(move |i| {
+            Some(MetaOp::Mkdir {
+                path: format!("{workdir}/sub{}/d{}", i / limit.max(1), i),
+            })
+        })
+    }
+    fn cleanup_ops(&self, ctx: &WorkerCtx, ops_done: u64) -> Vec<MetaOp> {
+        (0..ops_done)
+            .map(|i| MetaOp::Rmdir {
+                path: format!("{}/sub{}/d{}", ctx.workdir, i / ctx.dir_limit.max(1), i),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks with prepared preconditions
+// ---------------------------------------------------------------------------
+
+fn prepared_files(ctx: &WorkerCtx) -> Vec<MetaOp> {
+    (0..ctx.problem_size)
+        .map(|i| MetaOp::Create {
+            path: rotated_path(&ctx.workdir, i, ctx.dir_limit),
+            data_bytes: 0,
+        })
+        .collect()
+}
+
+/// DeleteFiles: prepare `problem_size` files, measure `unlink()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeleteFiles;
+
+impl BenchmarkPlugin for DeleteFiles {
+    fn name(&self) -> &'static str {
+        "DeleteFiles"
+    }
+    fn mode(&self) -> ProblemMode {
+        ProblemMode::Fixed
+    }
+    fn prepare_ops(&self, ctx: &WorkerCtx) -> Vec<MetaOp> {
+        prepared_files(ctx)
+    }
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+        let workdir = ctx.workdir.clone();
+        let limit = ctx.dir_limit;
+        let n = ctx.problem_size;
+        Box::new(move |i| {
+            if i < n {
+                Some(MetaOp::Unlink {
+                    path: rotated_path(&workdir, i, limit),
+                })
+            } else {
+                None
+            }
+        })
+    }
+}
+
+macro_rules! stat_like_plugin {
+    ($ty:ident, $name:literal, $drop:expr, $use_peer:expr, $op:ident) => {
+        impl BenchmarkPlugin for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn mode(&self) -> ProblemMode {
+                ProblemMode::Fixed
+            }
+            fn prepare_ops(&self, ctx: &WorkerCtx) -> Vec<MetaOp> {
+                prepared_files(ctx)
+            }
+            fn drop_caches_after_prepare(&self) -> bool {
+                $drop
+            }
+            fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+                // StatMultinodeFiles operates on the peer's file set, which
+                // this node never saw — bypassing the OS cache (§3.4.3).
+                let dir = if $use_peer {
+                    ctx.peer_workdir.clone()
+                } else {
+                    ctx.workdir.clone()
+                };
+                let limit = ctx.dir_limit;
+                let n = ctx.problem_size;
+                Box::new(move |i| {
+                    if i < n {
+                        Some(MetaOp::$op {
+                            path: rotated_path(&dir, i, limit),
+                        })
+                    } else {
+                        None
+                    }
+                })
+            }
+            fn cleanup_ops(&self, ctx: &WorkerCtx, _ops_done: u64) -> Vec<MetaOp> {
+                (0..ctx.problem_size)
+                    .map(|i| MetaOp::Unlink {
+                        path: rotated_path(&ctx.workdir, i, ctx.dir_limit),
+                    })
+                    .collect()
+            }
+        }
+    };
+}
+
+/// StatFiles: prepare files, measure `stat()` (warm caches permitted).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatFiles;
+stat_like_plugin!(StatFiles, "StatFiles", false, false, Stat);
+
+/// StatNocacheFiles: StatFiles with client caches dropped after prepare.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatNocacheFiles;
+stat_like_plugin!(StatNocacheFiles, "StatNocacheFiles", true, false, Stat);
+
+/// StatMultinodeFiles: each worker stats the file set its *peer on another
+/// node* created, so the files are never in the local OS cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatMultinodeFiles;
+stat_like_plugin!(StatMultinodeFiles, "StatMultinodeFiles", false, true, Stat);
+
+/// OpenCloseFiles: prepare files, measure `open()`+`close()` pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenCloseFiles;
+stat_like_plugin!(OpenCloseFiles, "OpenCloseFiles", false, false, OpenClose);
+
+// ---------------------------------------------------------------------------
+// Extended kernels (§3.2.4 — benchmark "kernels" beyond Table 3.5)
+// ---------------------------------------------------------------------------
+
+/// RenameFiles: prepare files, measure atomic `rename()` — the primitive
+/// applications use for transactional file updates (§2.6.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenameFiles;
+
+impl BenchmarkPlugin for RenameFiles {
+    fn name(&self) -> &'static str {
+        "RenameFiles"
+    }
+    fn mode(&self) -> ProblemMode {
+        ProblemMode::Fixed
+    }
+    fn prepare_ops(&self, ctx: &WorkerCtx) -> Vec<MetaOp> {
+        prepared_files(ctx)
+    }
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+        let workdir = ctx.workdir.clone();
+        let limit = ctx.dir_limit;
+        let n = ctx.problem_size;
+        Box::new(move |i| {
+            if i < n {
+                Some(MetaOp::Rename {
+                    from: rotated_path(&workdir, i, limit),
+                    to: format!("{}/renamed_{i}", workdir),
+                })
+            } else {
+                None
+            }
+        })
+    }
+    fn cleanup_ops(&self, ctx: &WorkerCtx, ops_done: u64) -> Vec<MetaOp> {
+        let mut ops: Vec<MetaOp> = (0..ops_done)
+            .map(|i| MetaOp::Unlink {
+                path: format!("{}/renamed_{i}", ctx.workdir),
+            })
+            .collect();
+        ops.extend((ops_done..ctx.problem_size).map(|i| MetaOp::Unlink {
+            path: rotated_path(&ctx.workdir, i, ctx.dir_limit),
+        }));
+        ops
+    }
+}
+
+/// ReaddirFiles: prepare `problem_size` files in one directory, measure
+/// repeated full directory listings (the data-management scan of §2.8.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReaddirFiles;
+
+impl BenchmarkPlugin for ReaddirFiles {
+    fn name(&self) -> &'static str {
+        "ReaddirFiles"
+    }
+    fn mode(&self) -> ProblemMode {
+        ProblemMode::Fixed
+    }
+    fn prepare_ops(&self, ctx: &WorkerCtx) -> Vec<MetaOp> {
+        // one flat directory so every listing sees problem_size entries
+        (0..ctx.problem_size)
+            .map(|i| MetaOp::Create {
+                path: format!("{}/flat/f{i}", ctx.workdir),
+                data_bytes: 0,
+            })
+            .collect()
+    }
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+        let dir = format!("{}/flat", ctx.workdir);
+        // 100 listings regardless of problem size: the work per op already
+        // scales with the directory size
+        Box::new(move |i| {
+            if i < 100 {
+                Some(MetaOp::Readdir { path: dir.clone() })
+            } else {
+                None
+            }
+        })
+    }
+    fn cleanup_ops(&self, ctx: &WorkerCtx, _ops_done: u64) -> Vec<MetaOp> {
+        (0..ctx.problem_size)
+            .map(|i| MetaOp::Unlink {
+                path: format!("{}/flat/f{i}", ctx.workdir),
+            })
+            .collect()
+    }
+}
+
+/// MailServer: a Postmark-style transaction mix (paper §3.1.4) — create a
+/// message, stat it, then delete an older one; runs for the configured
+/// duration. One "operation" is one metadata call, so throughput remains
+/// comparable to the micro benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MailServer;
+
+impl BenchmarkPlugin for MailServer {
+    fn name(&self) -> &'static str {
+        "MailServer"
+    }
+    fn mode(&self) -> ProblemMode {
+        ProblemMode::Timed
+    }
+    fn stream(&self, ctx: &WorkerCtx) -> Box<dyn FnMut(u64) -> Option<MetaOp> + Send> {
+        let spool = format!("{}/spool", ctx.workdir);
+        Box::new(move |i| {
+            // groups of 3 calls per delivered message: create, stat, and
+            // (one message-lifetime later) unlink
+            let msg = i / 3;
+            Some(match i % 3 {
+                0 => MetaOp::Create {
+                    path: format!("{spool}/msg{msg}"),
+                    data_bytes: 64,
+                },
+                1 => MetaOp::Stat {
+                    path: format!("{spool}/msg{msg}"),
+                },
+                _ => {
+                    if msg >= 16 {
+                        MetaOp::Unlink {
+                            path: format!("{spool}/msg{}", msg - 16),
+                        }
+                    } else {
+                        // queue still filling: stat the spool instead
+                        MetaOp::Stat {
+                            path: spool.clone(),
+                        }
+                    }
+                }
+            })
+        })
+    }
+    fn cleanup_ops(&self, ctx: &WorkerCtx, ops_done: u64) -> Vec<MetaOp> {
+        let spool = format!("{}/spool", ctx.workdir);
+        let delivered = ops_done / 3;
+        let first_live = delivered.saturating_sub(16).min(delivered);
+        (first_live..delivered)
+            .map(|m| MetaOp::Unlink {
+                path: format!("{spool}/msg{m}"),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Names of all pre-defined plugins (Table 3.5).
+pub fn all_plugin_names() -> Vec<&'static str> {
+    vec![
+        "MakeFiles",
+        "MakeFiles64byte",
+        "MakeFiles65byte",
+        "MakeOnedirFiles",
+        "MakeDirs",
+        "DeleteFiles",
+        "StatFiles",
+        "StatNocacheFiles",
+        "StatMultinodeFiles",
+        "OpenCloseFiles",
+        "RenameFiles",
+        "ReaddirFiles",
+        "MailServer",
+    ]
+}
+
+/// Look a pre-defined plugin up by name (plugins are called dynamically by
+/// name from the framework, §3.3.3).
+pub fn plugin_by_name(name: &str) -> Option<Box<dyn BenchmarkPlugin>> {
+    match name {
+        "MakeFiles" => Some(Box::new(MakeFiles)),
+        "MakeFiles64byte" => Some(Box::new(MakeFiles64byte)),
+        "MakeFiles65byte" => Some(Box::new(MakeFiles65byte)),
+        "MakeOnedirFiles" => Some(Box::new(MakeOnedirFiles)),
+        "MakeDirs" => Some(Box::new(MakeDirs)),
+        "DeleteFiles" => Some(Box::new(DeleteFiles)),
+        "StatFiles" => Some(Box::new(StatFiles)),
+        "StatNocacheFiles" => Some(Box::new(StatNocacheFiles)),
+        "StatMultinodeFiles" => Some(Box::new(StatMultinodeFiles)),
+        "OpenCloseFiles" => Some(Box::new(OpenCloseFiles)),
+        "RenameFiles" => Some(Box::new(RenameFiles)),
+        "ReaddirFiles" => Some(Box::new(ReaddirFiles)),
+        "MailServer" => Some(Box::new(MailServer)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BenchParams;
+
+    fn ctx() -> WorkerCtx {
+        let params = BenchParams {
+            problem_size: 10,
+            ..BenchParams::default()
+        };
+        WorkerCtx::build(&[(0, 0), (1, 0)], &params, 2)
+            .into_iter()
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        for name in all_plugin_names() {
+            let p = plugin_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(plugin_by_name("NoSuchBenchmark").is_none());
+        assert_eq!(all_plugin_names().len(), 13);
+    }
+
+    #[test]
+    fn makefiles_rotates_directories() {
+        let c = ctx(); // dir_limit = 10
+        let p = MakeFiles;
+        let mut s = p.stream(&c);
+        let op9 = s(9).unwrap();
+        let op10 = s(10).unwrap();
+        assert!(op9.primary_path().contains("/sub0/f9"), "{op9:?}");
+        assert!(op10.primary_path().contains("/sub1/f10"), "{op10:?}");
+        // timed: never ends on its own
+        assert!(s(1_000_000).is_some());
+    }
+
+    #[test]
+    fn makefiles_byte_variants_carry_data() {
+        let c = ctx();
+        let mut s64 = MakeFiles64byte.stream(&c);
+        let mut s65 = MakeFiles65byte.stream(&c);
+        match (s64(0).unwrap(), s65(0).unwrap()) {
+            (
+                MetaOp::Create {
+                    data_bytes: 64, ..
+                },
+                MetaOp::Create {
+                    data_bytes: 65, ..
+                },
+            ) => {}
+            other => panic!("wrong payloads: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn onedir_splits_problem_size() {
+        let c = ctx(); // 2 procs, problem 10 → 5 each
+        let p = MakeOnedirFiles;
+        assert_eq!(p.mode(), ProblemMode::Fixed);
+        let mut s = p.stream(&c);
+        for i in 0..5 {
+            let op = s(i).unwrap();
+            assert!(op.primary_path().starts_with("/bench/shared/p0_f"));
+        }
+        assert!(s(5).is_none());
+    }
+
+    #[test]
+    fn delete_files_prepares_then_unlinks_everything() {
+        let c = ctx();
+        let p = DeleteFiles;
+        let prep = p.prepare_ops(&c);
+        assert_eq!(prep.len(), 10);
+        let mut s = p.stream(&c);
+        let mut deleted = Vec::new();
+        let mut i = 0;
+        while let Some(op) = s(i) {
+            match op {
+                MetaOp::Unlink { path } => deleted.push(path),
+                other => panic!("expected unlink, got {other:?}"),
+            }
+            i += 1;
+        }
+        let created: Vec<String> = prep.iter().map(|o| o.primary_path().to_owned()).collect();
+        assert_eq!(deleted, created, "deletes exactly what prepare created");
+    }
+
+    #[test]
+    fn stat_nocache_drops_caches() {
+        assert!(!StatFiles.drop_caches_after_prepare());
+        assert!(StatNocacheFiles.drop_caches_after_prepare());
+        assert!(!StatMultinodeFiles.drop_caches_after_prepare());
+    }
+
+    #[test]
+    fn multinode_stats_peer_files() {
+        let params = BenchParams {
+            problem_size: 4,
+            ..BenchParams::default()
+        };
+        let ctxs = WorkerCtx::build(&[(0, 0), (1, 0)], &params, 2);
+        let p = StatMultinodeFiles;
+        let mut s0 = p.stream(&ctxs[0]);
+        let op = s0(0).unwrap();
+        assert!(
+            op.primary_path().starts_with(&ctxs[1].workdir),
+            "worker 0 stats worker 1's files: {op:?}"
+        );
+        // prepare still creates the worker's OWN files
+        let prep = p.prepare_ops(&ctxs[0]);
+        assert!(prep[0].primary_path().starts_with(&ctxs[0].workdir));
+    }
+
+    #[test]
+    fn openclose_emits_openclose() {
+        let c = ctx();
+        let mut s = OpenCloseFiles.stream(&c);
+        assert!(matches!(s(0), Some(MetaOp::OpenClose { .. })));
+    }
+
+    #[test]
+    fn rename_files_moves_prepared_set() {
+        let c = ctx();
+        let p = RenameFiles;
+        let mut s = p.stream(&c);
+        let op = s(0).unwrap();
+        match op {
+            MetaOp::Rename { from, to } => {
+                assert!(from.contains("/sub0/f0"));
+                assert!(to.ends_with("renamed_0"));
+            }
+            other => panic!("expected rename, got {other:?}"),
+        }
+        assert!(s(10).is_none(), "fixed problem size");
+        // cleanup removes both renamed and never-renamed files
+        let cleanup = p.cleanup_ops(&c, 4);
+        assert_eq!(cleanup.len() as u64, c.problem_size);
+    }
+
+    #[test]
+    fn readdir_files_lists_flat_directory() {
+        let c = ctx();
+        let p = ReaddirFiles;
+        assert_eq!(p.prepare_ops(&c).len() as u64, c.problem_size);
+        let mut s = p.stream(&c);
+        assert!(matches!(s(0), Some(MetaOp::Readdir { .. })));
+        assert!(s(100).is_none());
+    }
+
+    #[test]
+    fn mail_server_mixes_create_stat_unlink() {
+        let c = ctx();
+        let p = MailServer;
+        assert_eq!(p.mode(), ProblemMode::Timed);
+        let mut s = p.stream(&c);
+        assert!(matches!(s(0), Some(MetaOp::Create { .. })));
+        assert!(matches!(s(1), Some(MetaOp::Stat { .. })));
+        // early deletes are deferred while the queue fills
+        assert!(matches!(s(2), Some(MetaOp::Stat { .. })));
+        // message 16's third call deletes message 0
+        assert!(matches!(s(3 * 16 + 2), Some(MetaOp::Unlink { .. })));
+    }
+
+    #[test]
+    fn cleanup_matches_created_files() {
+        let c = ctx();
+        let p = MakeFiles;
+        let cleanup = p.cleanup_ops(&c, 3);
+        assert_eq!(cleanup.len(), 3);
+        assert!(matches!(&cleanup[0], MetaOp::Unlink { path } if path.contains("/sub0/f0")));
+    }
+}

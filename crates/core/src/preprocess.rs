@@ -1,0 +1,450 @@
+//! Result preprocessing (paper §3.3.9, listings 3.4 and 3.5).
+//!
+//! From the raw per-process time-interval logs this module computes, per
+//! grid interval: the total operations completed, the total throughput, the
+//! sample standard deviation of per-process interval progress, and the
+//! coefficient of variation (COV) — plus the summary averages: wall-clock,
+//! stonewall, and fixed-operation-count ("strong scaling") averages.
+//!
+//! The arithmetic is validated against the worked example of listings
+//! 3.3–3.5 (stonewall 22 191 ops/s, 10 000-op average 20 738 ops/s).
+
+use crate::result::ResultSet;
+use serde::{Deserialize, Serialize};
+
+/// One row of the interval summary (listing 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRow {
+    /// Grid timestamp in seconds.
+    pub timestamp: f64,
+    /// Total operations completed by all processes up to this instant.
+    pub total_done: u64,
+    /// Throughput during this interval in ops/s (0 for the first row, which
+    /// has no predecessor — matching the paper's output).
+    pub throughput: f64,
+    /// Sample standard deviation of per-process operations completed within
+    /// this interval.
+    pub stddev: f64,
+    /// Coefficient of variation: `stddev / mean` of per-process interval
+    /// progress (0 when the mean is 0).
+    pub cov: f64,
+}
+
+/// Preprocessed results (listing 3.5 plus the full interval table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preprocessed {
+    /// Operation name.
+    pub operation: String,
+    /// Nodes used.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Total processes.
+    pub total_processes: usize,
+    /// Per-interval rows on the common grid.
+    pub intervals: Vec<IntervalRow>,
+    /// Wall-clock average ops/s (total ops / last completion time).
+    pub wallclock_avg: f64,
+    /// Stonewall average ops/s: ops completed up to the first process
+    /// completion, divided by that time (§3.2.5).
+    pub stonewall_avg: f64,
+    /// `(N, avg)` pairs: average ops/s up to the first interval where at
+    /// least `N` total operations had completed; 0 if `N` was never reached
+    /// (the strong-scaling averages of §3.3.9).
+    pub fixed_n_avgs: Vec<(u64, f64)>,
+}
+
+/// Cumulative per-process operation counts aligned to the common grid.
+///
+/// Returns `(grid_timestamps, per_process_counts)` where
+/// `per_process_counts[p][k]` is process `p`'s counter at grid instant `k`.
+/// Counts carry forward between samples and stay at the final value after a
+/// process finishes.
+pub fn align_to_grid(rs: &ResultSet) -> (Vec<f64>, Vec<Vec<u64>>) {
+    let dt = rs.interval_s;
+    let t_end = rs
+        .processes
+        .iter()
+        .flat_map(|p| p.samples.last().map(|&(t, _)| t))
+        .fold(0.0f64, f64::max);
+    // floor with a tolerance: a completion at 0.85 s must not conjure a
+    // 0.9 s grid point, but a completion exactly on the grid keeps it
+    let steps = ((t_end + dt * 1e-6) / dt).floor() as usize;
+    let grid: Vec<f64> = (1..=steps).map(|k| k as f64 * dt).collect();
+    let mut counts = Vec::with_capacity(rs.processes.len());
+    for p in &rs.processes {
+        let mut row = Vec::with_capacity(grid.len());
+        let mut idx = 0;
+        let mut last = 0u64;
+        for &t in &grid {
+            while idx < p.samples.len() && p.samples[idx].0 <= t + dt * 1e-6 {
+                last = p.samples[idx].1;
+                idx += 1;
+            }
+            row.push(last);
+        }
+        counts.push(row);
+    }
+    (grid, counts)
+}
+
+/// Run the full preprocessing step.
+pub fn preprocess(rs: &ResultSet, fixed_ns: &[u64]) -> Preprocessed {
+    let (grid, counts) = align_to_grid(rs);
+    let nproc = counts.len();
+    let mut intervals = Vec::with_capacity(grid.len());
+    let mut prev_totals: Vec<u64> = vec![0; nproc];
+    let mut prev_total = 0u64;
+    for (k, &t) in grid.iter().enumerate() {
+        let cur: Vec<u64> = counts.iter().map(|c| c[k]).collect();
+        let total: u64 = cur.iter().sum();
+        if k == 0 {
+            intervals.push(IntervalRow {
+                timestamp: t,
+                total_done: total,
+                throughput: 0.0,
+                stddev: 0.0,
+                cov: 0.0,
+            });
+        } else {
+            let deltas: Vec<f64> = cur
+                .iter()
+                .zip(&prev_totals)
+                .map(|(&c, &p)| (c - p) as f64)
+                .collect();
+            let mean = deltas.iter().sum::<f64>() / nproc as f64;
+            let stddev = if nproc > 1 {
+                (deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (nproc - 1) as f64)
+                    .sqrt()
+            } else {
+                0.0
+            };
+            let cov = if mean > 0.0 { stddev / mean } else { 0.0 };
+            intervals.push(IntervalRow {
+                timestamp: t,
+                total_done: total,
+                throughput: (total - prev_total) as f64 / rs.interval_s,
+                stddev,
+                cov,
+            });
+        }
+        prev_totals = cur;
+        prev_total = total;
+    }
+
+    let total_ops: u64 = rs.total_ops();
+    let t_last = rs
+        .processes
+        .iter()
+        .flat_map(|p| p.finished_at)
+        .fold(0.0f64, f64::max);
+    let wallclock_avg = if t_last > 0.0 {
+        total_ops as f64 / t_last
+    } else {
+        0.0
+    };
+
+    // stonewall: the instant the first process finished
+    let first_finish = rs
+        .processes
+        .iter()
+        .flat_map(|p| p.finished_at)
+        .fold(f64::INFINITY, f64::min);
+    let stonewall_avg = if first_finish.is_finite() && first_finish > 0.0 {
+        // Use the raw samples rather than the grid so runs shorter than one
+        // sampling interval still stonewall correctly.
+        let eps = rs.interval_s * 1e-6;
+        let done_at: u64 = rs
+            .processes
+            .iter()
+            .map(|p| {
+                p.samples
+                    .iter()
+                    .take_while(|&&(t, _)| t <= first_finish + eps)
+                    .map(|&(_, n)| n)
+                    .last()
+                    .unwrap_or(0)
+            })
+            .sum();
+        done_at as f64 / first_finish
+    } else {
+        wallclock_avg
+    };
+
+    let fixed_n_avgs = fixed_ns
+        .iter()
+        .map(|&n| {
+            let hit = intervals
+                .iter()
+                .find(|row| row.total_done >= n)
+                .map(|row| row.total_done as f64 / row.timestamp)
+                .unwrap_or(0.0);
+            (n, hit)
+        })
+        .collect();
+
+    Preprocessed {
+        operation: rs.operation.clone(),
+        nodes: rs.nodes,
+        ppn: rs.ppn,
+        total_processes: rs.total_processes(),
+        intervals,
+        wallclock_avg,
+        stonewall_avg,
+        fixed_n_avgs,
+    }
+}
+
+impl Preprocessed {
+    /// The interval-summary TSV of listing 3.4: operation, nodes,
+    /// processes, timestamp, total, throughput, stddev, COV.
+    pub fn interval_tsv(&self) -> String {
+        let mut out = String::new();
+        for row in &self.intervals {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{:.1}\t{}\t{:.0}\t{:.1}\t{:.3}\n",
+                self.operation,
+                self.nodes,
+                self.total_processes,
+                row.timestamp,
+                row.total_done,
+                row.throughput,
+                row.stddev,
+                row.cov
+            ));
+        }
+        out
+    }
+
+    /// The one-line summary of listing 3.5: operation, nodes, ppn, total
+    /// processes, stonewall average, fixed-N averages.
+    pub fn summary_tsv(&self) -> String {
+        let mut out = format!(
+            "{}\t{}\t{}\t{}\t{:.0}",
+            self.operation, self.nodes, self.ppn, self.total_processes, self.stonewall_avg
+        );
+        for &(_, avg) in &self.fixed_n_avgs {
+            out.push_str(&format!("\t{:.0}", avg));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::ProcessTrace;
+
+    /// Reconstruction of the paper's listing 3.3 example: four processes,
+    /// 5 000 StatNocacheFiles operations each, on two nodes. Interval totals
+    /// match listing 3.4 exactly; the per-process values at 0.4–0.7 s are
+    /// interpolations consistent with those totals.
+    fn listing_3_3() -> ResultSet {
+        let p = |host: &str, no: usize, samples: Vec<(f64, u64)>| {
+            let finished_at = Some(samples.last().unwrap().0);
+            let ops_done = samples.last().unwrap().1;
+            ProcessTrace {
+                hostname: host.into(),
+                process_no: no,
+                samples,
+                finished_at,
+                ops_done,
+                errors: 0,
+            }
+        };
+        ResultSet {
+            operation: "StatNocacheFiles".into(),
+            fs_name: "nfs-wafl".into(),
+            nodes: 2,
+            ppn: 2,
+            interval_s: 0.1,
+            processes: vec![
+                p(
+                    "lx64a153",
+                    0,
+                    vec![
+                        (0.1, 1),
+                        (0.2, 569),
+                        (0.3, 1212),
+                        (0.4, 1830),
+                        (0.5, 2470),
+                        (0.6, 3115),
+                        (0.7, 3755),
+                        (0.8, 4411),
+                        (0.9, 5000),
+                    ],
+                ),
+                p(
+                    "lx64a153",
+                    1,
+                    vec![
+                        (0.1, 1),
+                        (0.2, 550),
+                        (0.3, 1163),
+                        (0.4, 1790),
+                        (0.5, 2450),
+                        (0.6, 3100),
+                        (0.7, 3740),
+                        (0.8, 4331),
+                        (0.9, 4977),
+                        (1.0, 5000),
+                    ],
+                ),
+                p(
+                    "lx64a140",
+                    2,
+                    vec![
+                        (0.1, 1),
+                        (0.2, 547),
+                        (0.3, 1166),
+                        (0.4, 1800),
+                        (0.5, 2460),
+                        (0.6, 3110),
+                        (0.7, 3750),
+                        (0.8, 4351),
+                        (0.9, 4995),
+                        (1.0, 5000),
+                    ],
+                ),
+                p(
+                    "lx64a140",
+                    3,
+                    vec![
+                        (0.1, 24),
+                        (0.2, 624),
+                        (0.3, 1266),
+                        (0.4, 1896),
+                        (0.5, 2486),
+                        (0.6, 3118),
+                        (0.7, 3749),
+                        (0.8, 4475),
+                        (0.9, 5000),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn interval_totals_match_listing_3_4() {
+        let pre = preprocess(&listing_3_3(), &[]);
+        let totals: Vec<u64> = pre.intervals.iter().map(|r| r.total_done).collect();
+        assert_eq!(
+            totals,
+            vec![27, 2290, 4807, 7316, 9866, 12443, 14994, 17568, 19972, 20000]
+        );
+    }
+
+    #[test]
+    fn throughput_matches_listing_3_4() {
+        let pre = preprocess(&listing_3_3(), &[]);
+        let tp: Vec<f64> = pre.intervals.iter().map(|r| r.throughput).collect();
+        assert_eq!(tp[0], 0.0, "first row has no predecessor");
+        assert!((tp[1] - 22630.0).abs() < 1.0, "{}", tp[1]);
+        assert!((tp[2] - 25170.0).abs() < 1.0);
+        assert!((tp[9] - 280.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stddev_and_cov_match_listing_3_4() {
+        let pre = preprocess(&listing_3_3(), &[]);
+        // row 0.2: stddev 24.8, cov 0.044
+        let r = pre.intervals[1];
+        assert!((r.stddev - 24.8).abs() < 0.1, "stddev {}", r.stddev);
+        assert!((r.cov - 0.044).abs() < 0.001, "cov {}", r.cov);
+        // row 0.3: stddev 15.5, cov 0.025
+        let r = pre.intervals[2];
+        assert!((r.stddev - 15.5).abs() < 0.1);
+        assert!((r.cov - 0.025).abs() < 0.001);
+        // row 0.9: stddev 57.1, cov 0.095
+        let r = pre.intervals[8];
+        assert!((r.stddev - 57.1).abs() < 0.1, "stddev {}", r.stddev);
+        assert!((r.cov - 0.095).abs() < 0.001);
+        // row 1.0: stddev 10.9, cov 1.561
+        let r = pre.intervals[9];
+        assert!((r.stddev - 10.9).abs() < 0.1, "stddev {}", r.stddev);
+        assert!((r.cov - 1.561).abs() < 0.01, "cov {}", r.cov);
+    }
+
+    #[test]
+    fn stonewall_matches_listing_3_5() {
+        let pre = preprocess(&listing_3_3(), &[10_000, 25_000]);
+        // 19 972 ops when the first two processes complete at 0.9 s
+        assert!(
+            (pre.stonewall_avg - 22_191.0).abs() < 1.0,
+            "stonewall {}",
+            pre.stonewall_avg
+        );
+        assert_eq!(pre.fixed_n_avgs[0].0, 10_000);
+        assert!(
+            (pre.fixed_n_avgs[0].1 - 20_738.0).abs() < 1.0,
+            "10k avg {}",
+            pre.fixed_n_avgs[0].1
+        );
+        assert_eq!(pre.fixed_n_avgs[1].1, 0.0, "25 000 ops were never reached");
+    }
+
+    #[test]
+    fn summary_tsv_format() {
+        let pre = preprocess(&listing_3_3(), &[10_000, 25_000]);
+        assert_eq!(
+            pre.summary_tsv(),
+            "StatNocacheFiles\t2\t2\t4\t22191\t20738\t0\n"
+        );
+    }
+
+    #[test]
+    fn wallclock_average() {
+        let pre = preprocess(&listing_3_3(), &[]);
+        assert!((pre.wallclock_avg - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn equal_speed_processes_have_zero_cov() {
+        let p = |no: usize| ProcessTrace {
+            hostname: "h".into(),
+            process_no: no,
+            samples: (1..=10).map(|k| (k as f64 * 0.1, k as u64 * 100)).collect(),
+            finished_at: Some(1.0),
+            ops_done: 1000,
+            errors: 0,
+        };
+        let rs = ResultSet {
+            operation: "X".into(),
+            fs_name: "f".into(),
+            nodes: 1,
+            ppn: 4,
+            interval_s: 0.1,
+            processes: (0..4).map(p).collect(),
+        };
+        let pre = preprocess(&rs, &[]);
+        for row in &pre.intervals[1..] {
+            assert_eq!(row.cov, 0.0);
+            assert_eq!(row.stddev, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_process_has_no_deviation() {
+        let rs = ResultSet {
+            operation: "X".into(),
+            fs_name: "f".into(),
+            nodes: 1,
+            ppn: 1,
+            interval_s: 0.1,
+            processes: vec![ProcessTrace {
+                hostname: "h".into(),
+                process_no: 0,
+                samples: vec![(0.1, 50), (0.2, 130)],
+                finished_at: Some(0.2),
+                ops_done: 130,
+                errors: 0,
+            }],
+        };
+        let pre = preprocess(&rs, &[100]);
+        assert_eq!(pre.intervals[1].stddev, 0.0);
+        assert!((pre.intervals[1].throughput - 800.0).abs() < 1e-9);
+        assert!((pre.fixed_n_avgs[0].1 - 650.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Environment profiling for retrospective analysis (paper §3.2.6).
+//!
+//! Exact reproduction of results on large systems is often impossible, so
+//! DMetabench records the static and dynamic system state *with* every
+//! result set — enough to explain anomalies after the fact.
+
+use serde::{Deserialize, Serialize};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A snapshot of the runtime environment, stored alongside results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentProfile {
+    /// Free-form run label (`--label`).
+    pub label: String,
+    /// Unix timestamp (seconds) when the profile was taken.
+    pub timestamp_s: u64,
+    /// Hostname.
+    pub hostname: String,
+    /// Operating system family.
+    pub os: String,
+    /// CPU architecture.
+    pub arch: String,
+    /// Kernel version string (static property).
+    pub kernel: String,
+    /// Logical CPU count (static property).
+    pub cpus: usize,
+    /// Total memory in kB, when known (static property).
+    pub memory_kb: Option<u64>,
+    /// 1-minute load average before the run (dynamic property, the
+    /// `vmstat` pre-run sampling of §3.3.3).
+    pub loadavg_1m: Option<f64>,
+    /// Process command line.
+    pub cmdline: Vec<String>,
+}
+
+impl EnvironmentProfile {
+    /// Capture the current environment.
+    pub fn capture(label: &str) -> EnvironmentProfile {
+        let kernel = std::fs::read_to_string("/proc/version")
+            .map(|s| s.trim().to_owned())
+            .unwrap_or_else(|_| "unknown".to_owned());
+        let memory_kb = std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("MemTotal:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|v| v.parse().ok())
+            });
+        let loadavg_1m = std::fs::read_to_string("/proc/loadavg")
+            .ok()
+            .and_then(|s| s.split_whitespace().next().and_then(|v| v.parse().ok()));
+        EnvironmentProfile {
+            label: label.to_owned(),
+            timestamp_s: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            hostname: cluster::hostname(),
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            kernel,
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            memory_kb,
+            loadavg_1m,
+            cmdline: std::env::args().collect(),
+        }
+    }
+
+    /// Serialize to pretty JSON for the result directory.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile always serializes")
+    }
+
+    /// Parse a profile back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(text: &str) -> Result<EnvironmentProfile, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_static_fields() {
+        let p = EnvironmentProfile::capture("test-run");
+        assert_eq!(p.label, "test-run");
+        assert!(p.cpus >= 1);
+        assert!(!p.hostname.is_empty());
+        assert!(!p.os.is_empty());
+        assert!(p.timestamp_s > 1_600_000_000, "sane clock");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = EnvironmentProfile::capture("roundtrip");
+        let json = p.to_json();
+        let q = EnvironmentProfile::from_json(&json).unwrap();
+        assert_eq!(p, q);
+        assert!(EnvironmentProfile::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Result sets: the raw per-process time-interval logs of a benchmark run
+//! and their TSV serialization (paper listing 3.3).
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use cluster::SimRunResult;
+
+/// The progress log of one worker process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessTrace {
+    /// Hostname of the node the process ran on.
+    pub hostname: String,
+    /// Global process number within the run.
+    pub process_no: usize,
+    /// `(timestamp seconds, operations completed)` samples.
+    pub samples: Vec<(f64, u64)>,
+    /// Seconds at which the process completed its work (`None` only for
+    /// aborted runs).
+    pub finished_at: Option<f64>,
+    /// Total operations completed.
+    pub ops_done: u64,
+    /// Failed operations.
+    pub errors: u64,
+}
+
+/// The complete raw result of one benchmark iteration: one operation at one
+/// `(nodes, processes-per-node)` combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Operation name (e.g. `MakeFiles`).
+    pub operation: String,
+    /// File-system / backend label.
+    pub fs_name: String,
+    /// Number of nodes used.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Sampling interval in seconds.
+    pub interval_s: f64,
+    /// Per-process traces, in process order.
+    pub processes: Vec<ProcessTrace>,
+}
+
+impl ResultSet {
+    /// Build a result set from an engine run.
+    pub fn from_run(
+        operation: &str,
+        nodes: usize,
+        ppn: usize,
+        run: &SimRunResult,
+    ) -> ResultSet {
+        ResultSet {
+            operation: operation.to_owned(),
+            fs_name: run.fs_name.clone(),
+            nodes,
+            ppn,
+            interval_s: run.interval.as_secs_f64(),
+            processes: run
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| ProcessTrace {
+                    hostname: w.node_name.clone(),
+                    process_no: i,
+                    samples: w
+                        .samples
+                        .iter()
+                        .map(|&(t, n)| (t.as_secs_f64(), n))
+                        .collect(),
+                    finished_at: w.finished_at.map(|t| t.as_secs_f64()),
+                    ops_done: w.ops_done,
+                    errors: w.errors,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total processes.
+    pub fn total_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Total operations completed by all processes.
+    pub fn total_ops(&self) -> u64 {
+        self.processes.iter().map(|p| p.ops_done).sum()
+    }
+
+    /// The conventional result filename of §3.3.9, e.g.
+    /// `results-StatNocacheFiles-2-4.tsv`.
+    pub fn file_name(&self) -> String {
+        format!(
+            "results-{}-{}-{}.tsv",
+            self.operation,
+            self.nodes,
+            self.total_processes()
+        )
+    }
+
+    /// Serialize as the TSV of listing 3.3:
+    /// `Hostname Operation ProcessNo Timestamp OperationsDone`.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("Hostname\tOperation\tProcessNo\tTimestamp\tOperationsDone\n");
+        // Self-describing metadata header (a comment row, ignored by naive
+        // TSV consumers but authoritative for `from_tsv`).
+        out.push_str(&format!(
+            "# fs={} nodes={} ppn={} interval_s={}\n",
+            self.fs_name, self.nodes, self.ppn, self.interval_s
+        ));
+        for p in &self.processes {
+            for &(t, n) in &p.samples {
+                // Microsecond precision: the grid stays readable and the
+                // off-grid completion timestamps survive a round trip.
+                out.push_str(&format!(
+                    "{}\t{}\t{}\t{:.6}\t{}\n",
+                    p.hostname, self.operation, p.process_no, t, n
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parse the TSV format written by [`to_tsv`](ResultSet::to_tsv).
+    ///
+    /// Metadata not present in the rows (`fs_name`, `nodes`, `ppn`,
+    /// interval) must be supplied by the caller; the interval is inferred
+    /// from the smallest timestamp step when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed row.
+    pub fn from_tsv(
+        text: &str,
+        fs_name: &str,
+        nodes: usize,
+        ppn: usize,
+    ) -> Result<ResultSet, String> {
+        let mut operation = String::new();
+        let mut procs: Vec<ProcessTrace> = Vec::new();
+        let mut header_interval: Option<f64> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            if lineno == 0 && line.starts_with("Hostname") {
+                continue;
+            }
+            if let Some(meta) = line.strip_prefix("# ") {
+                for kv in meta.split_whitespace() {
+                    if let Some(v) = kv.strip_prefix("interval_s=") {
+                        header_interval = v.parse().ok();
+                    }
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split('\t').collect();
+            if cols.len() != 5 {
+                return Err(format!("line {}: expected 5 columns", lineno + 1));
+            }
+            let host = cols[0];
+            operation = cols[1].to_owned();
+            let pno: usize = cols[2]
+                .parse()
+                .map_err(|e| format!("line {}: bad process number: {e}", lineno + 1))?;
+            let ts: f64 = cols[3]
+                .parse()
+                .map_err(|e| format!("line {}: bad timestamp: {e}", lineno + 1))?;
+            let ops: u64 = cols[4]
+                .parse()
+                .map_err(|e| format!("line {}: bad op count: {e}", lineno + 1))?;
+            while procs.len() <= pno {
+                procs.push(ProcessTrace {
+                    hostname: host.to_owned(),
+                    process_no: procs.len(),
+                    samples: Vec::new(),
+                    finished_at: None,
+                    ops_done: 0,
+                    errors: 0,
+                });
+            }
+            let p = &mut procs[pno];
+            p.hostname = host.to_owned();
+            p.samples.push((ts, ops));
+            p.ops_done = p.ops_done.max(ops);
+        }
+        // Infer the sampling interval as the most frequent timestamp step —
+        // completion samples land off-grid and must not shrink the grid.
+        let mut step_counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for p in &mut procs {
+            p.samples
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("timestamps are finite"));
+            if let Some(&(t, _)) = p.samples.last() {
+                p.finished_at = Some(t);
+            }
+            for w in p.samples.windows(2) {
+                let dt = w[1].0 - w[0].0;
+                if dt > 1e-9 {
+                    *step_counts.entry((dt * 1e6).round() as u64).or_insert(0) += 1;
+                }
+            }
+        }
+        let interval_s = header_interval.unwrap_or_else(|| {
+            step_counts
+                .iter()
+                .max_by_key(|&(_, &count)| count)
+                .map(|(&us, _)| us as f64 / 1e6)
+                .unwrap_or(0.1)
+        });
+        Ok(ResultSet {
+            operation,
+            fs_name: fs_name.to_owned(),
+            nodes,
+            ppn,
+            interval_s,
+            processes: procs,
+        })
+    }
+
+    /// Sampling interval as a [`SimDuration`].
+    pub fn interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.interval_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> ResultSet {
+        ResultSet {
+            operation: "StatNocacheFiles".into(),
+            fs_name: "nfs-wafl".into(),
+            nodes: 2,
+            ppn: 2,
+            interval_s: 0.1,
+            processes: vec![
+                ProcessTrace {
+                    hostname: "lx64a153".into(),
+                    process_no: 0,
+                    samples: vec![(0.1, 1), (0.2, 569), (0.3, 1212)],
+                    finished_at: Some(0.3),
+                    ops_done: 1212,
+                    errors: 0,
+                },
+                ProcessTrace {
+                    hostname: "lx64a140".into(),
+                    process_no: 1,
+                    samples: vec![(0.1, 24), (0.2, 624)],
+                    finished_at: Some(0.2),
+                    ops_done: 624,
+                    errors: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let rs = sample_set();
+        let tsv = rs.to_tsv();
+        assert!(tsv.starts_with("Hostname\tOperation"));
+        assert!(tsv.contains("lx64a153\tStatNocacheFiles\t0\t0.200000\t569"));
+        let parsed = ResultSet::from_tsv(&tsv, "nfs-wafl", 2, 2).unwrap();
+        assert_eq!(parsed.operation, "StatNocacheFiles");
+        assert_eq!(parsed.processes.len(), 2);
+        assert_eq!(parsed.processes[0].samples, rs.processes[0].samples);
+        assert!((parsed.interval_s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn file_name_follows_convention() {
+        let rs = sample_set();
+        assert_eq!(rs.file_name(), "results-StatNocacheFiles-2-2.tsv");
+    }
+
+    #[test]
+    fn totals() {
+        let rs = sample_set();
+        assert_eq!(rs.total_ops(), 1836);
+        assert_eq!(rs.total_processes(), 2);
+    }
+
+    #[test]
+    fn malformed_tsv_rejected() {
+        assert!(ResultSet::from_tsv("a\tb\tc\n", "x", 1, 1).is_err());
+    }
+}

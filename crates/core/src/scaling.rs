@@ -1,0 +1,83 @@
+//! Weak/isogranular vs. strong scaling problem sizing (paper §3.2.3,
+//! Table 3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the scaling table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Number of processes.
+    pub processes: u64,
+    /// Weak/isogranular scaling: total operations.
+    pub iso_total: u64,
+    /// Weak/isogranular scaling: per-process operations.
+    pub iso_per_process: u64,
+    /// Strong scaling: total operations.
+    pub strong_total: u64,
+    /// Strong scaling: per-process operations.
+    pub strong_per_process: u64,
+}
+
+/// Build the Table 3.1 rows for an initial problem size `n`.
+///
+/// Weak (isogranular) scaling repeats `n` operations in every process;
+/// strong scaling divides the fixed total `n` among the processes.
+pub fn scaling_table(n: u64, process_counts: &[u64]) -> Vec<ScalingRow> {
+    process_counts
+        .iter()
+        .map(|&p| ScalingRow {
+            processes: p,
+            iso_total: n * p,
+            iso_per_process: n,
+            strong_total: n,
+            strong_per_process: n / p.max(1),
+        })
+        .collect()
+}
+
+/// Render the table in the paper's layout.
+pub fn scaling_table_text(n: u64, process_counts: &[u64]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Weak/isogranular and strong scaling with initial problem size n = {n}\n"
+    ));
+    out.push_str("Processes | Isogranular total | per-process | Strong total | per-process\n");
+    for row in scaling_table(n, process_counts) {
+        out.push_str(&format!(
+            "{:>9} | {:>17} | {:>11} | {:>12} | {:>11}\n",
+            row.processes, row.iso_total, row.iso_per_process, row.strong_total,
+            row.strong_per_process
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_3_1() {
+        // Table 3.1: n = 6000, processes 1,2,3,4,5,10,100,1000
+        let rows = scaling_table(6000, &[1, 2, 3, 4, 5, 10, 100, 1000]);
+        assert_eq!(rows[1].iso_total, 12_000);
+        assert_eq!(rows[1].strong_per_process, 3_000);
+        assert_eq!(rows[4].iso_total, 30_000);
+        assert_eq!(rows[4].strong_per_process, 1_200);
+        assert_eq!(rows[6].iso_total, 600_000);
+        assert_eq!(rows[6].strong_per_process, 60);
+        assert_eq!(rows[7].iso_total, 6_000_000);
+        assert_eq!(rows[7].strong_per_process, 6);
+        for r in &rows {
+            assert_eq!(r.iso_per_process, 6000);
+            assert_eq!(r.strong_total, 6000);
+        }
+    }
+
+    #[test]
+    fn text_render_contains_rows() {
+        let t = scaling_table_text(6000, &[1, 1000]);
+        assert!(t.contains("6000000"));
+        assert!(t.contains("Processes"));
+    }
+}

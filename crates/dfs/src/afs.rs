@@ -1,0 +1,375 @@
+//! AFS model: external namespace aggregation (paper §2.5.1, §4.7.3).
+//!
+//! AFS assembles its namespace on the *client*: the cache manager consults a
+//! volume location database (VLDB) to find the file server holding a volume,
+//! then talks to that server directly. Three behaviours matter for metadata
+//! performance:
+//!
+//! * the first access to a volume from a node pays an extra VLDB RPC; the
+//!   location is then cached,
+//! * the single-threaded client cache manager serializes all file-system
+//!   RPCs of one OS instance — intra-node parallelism is flat (§4.7.3),
+//! * open-to-close semantics with callbacks: once fetched, attributes stay
+//!   locally valid until the server breaks the callback (§2.6.1).
+
+use crate::cache::{AttrCache, CallbackCache};
+use crate::costmodel::{apply_meta_op, ServiceCostModel};
+use crate::op::MetaOp;
+use crate::plan::{
+    ClientCtx, DistFs, FsResources, OpPlan, SemId, SemSpec, ServerId, ServerSpec, Stage,
+};
+use memfs::{FsError, FsResult, MemFs, MemFsConfig};
+use netsim::{LinkSpec, RpcProfile};
+use simcore::{DetRng, SimDuration, SimTime};
+
+/// A volume served by one AFS file server.
+#[derive(Debug, Clone)]
+pub struct AfsVolume {
+    /// Top-level directory that addresses the volume.
+    pub prefix: String,
+    /// File-server index (0-based; the VLDB server is separate).
+    pub server: usize,
+}
+
+/// Tunables of the AFS model.
+#[derive(Debug, Clone)]
+pub struct AfsConfig {
+    /// Number of file servers.
+    pub file_servers: usize,
+    /// Volumes and their placement.
+    pub volumes: Vec<AfsVolume>,
+    /// Service slots per file server.
+    pub server_parallelism: usize,
+    /// File-server service-time coefficients (AFS servers are slower than
+    /// NVRAM filers for mutations).
+    pub cost: ServiceCostModel,
+    /// VLDB lookup service time.
+    pub vldb_demand: SimDuration,
+    /// Client ↔ server link.
+    pub link: LinkSpec,
+    /// Client CPU per RPC (cache-manager overhead).
+    pub client_cpu: SimDuration,
+    /// Client CPU for a callback-cached `stat`.
+    pub cached_stat_cpu: SimDuration,
+    /// Per-volume file-system configuration.
+    pub fs_config: MemFsConfig,
+    /// Link jitter.
+    pub jitter: f64,
+}
+
+impl Default for AfsConfig {
+    fn default() -> Self {
+        let file_servers = 4;
+        AfsConfig {
+            file_servers,
+            volumes: (0..file_servers * 2)
+                .map(|i| AfsVolume {
+                    prefix: format!("vol{i}"),
+                    server: i % file_servers,
+                })
+                .collect(),
+            server_parallelism: 4,
+            cost: ServiceCostModel {
+                base: SimDuration::from_micros(550),
+                ..ServiceCostModel::disk_mds()
+            },
+            vldb_demand: SimDuration::from_micros(150),
+            link: LinkSpec::lan(),
+            client_cpu: SimDuration::from_micros(70),
+            cached_stat_cpu: SimDuration::from_micros(6),
+            fs_config: MemFsConfig::default(),
+            jitter: 0.04,
+        }
+    }
+}
+
+/// The AFS model. See the module-level documentation.
+#[derive(Debug)]
+pub struct AfsFs {
+    config: AfsConfig,
+    volume_fs: Vec<MemFs>,
+    callback_caches: Vec<CallbackCache>,
+    /// Cached VLDB answers per node: `vldb_cache[node]` knows these volumes.
+    vldb_caches: Vec<AttrCache>,
+    nodes: usize,
+}
+
+/// Server index of the VLDB server.
+pub const AFS_VLDB: ServerId = ServerId(0);
+
+impl AfsFs {
+    /// Create the model.
+    pub fn new(config: AfsConfig) -> Self {
+        let volume_fs = config
+            .volumes
+            .iter()
+            .map(|_| MemFs::with_config(config.fs_config.clone()))
+            .collect();
+        AfsFs {
+            config,
+            volume_fs,
+            callback_caches: Vec::new(),
+            vldb_caches: Vec::new(),
+            nodes: 0,
+        }
+    }
+
+    /// The model with default tuning.
+    pub fn with_defaults() -> Self {
+        Self::new(AfsConfig::default())
+    }
+
+    /// Resolve a path's volume.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when the path addresses no known volume.
+    pub fn volume_of(&self, path: &str) -> FsResult<usize> {
+        let p = memfs::FsPath::parse(path)?;
+        let first = p.components().first().ok_or(FsError::NotFound)?;
+        self.config
+            .volumes
+            .iter()
+            .position(|v| &v.prefix == first)
+            .ok_or(FsError::NotFound)
+    }
+
+    fn cache_mgr_sem(&self, node: usize) -> SemId {
+        SemId(node)
+    }
+
+    fn volume_relative(path: &str) -> FsResult<String> {
+        let p = memfs::FsPath::parse(path)?;
+        let comps = p.components();
+        if comps.len() <= 1 {
+            Ok("/".to_owned())
+        } else {
+            Ok(format!("/{}", comps[1..].join("/")))
+        }
+    }
+
+    fn rewrite_op(op: &MetaOp) -> FsResult<MetaOp> {
+        let mut op = op.clone();
+        match &mut op {
+            MetaOp::Create { path, .. }
+            | MetaOp::Mkdir { path }
+            | MetaOp::Unlink { path }
+            | MetaOp::Rmdir { path }
+            | MetaOp::Stat { path }
+            | MetaOp::OpenClose { path }
+            | MetaOp::Readdir { path }
+            | MetaOp::Chmod { path, .. }
+            | MetaOp::Utimes { path, .. } => *path = Self::volume_relative(path)?,
+            MetaOp::Rename { from, to } => {
+                *from = Self::volume_relative(from)?;
+                *to = Self::volume_relative(to)?;
+            }
+            MetaOp::Link { existing, new } => {
+                *existing = Self::volume_relative(existing)?;
+                *new = Self::volume_relative(new)?;
+            }
+            MetaOp::Symlink { linkpath, .. } => *linkpath = Self::volume_relative(linkpath)?,
+        }
+        Ok(op)
+    }
+}
+
+impl DistFs for AfsFs {
+    fn resources(&self) -> FsResources {
+        assert!(
+            self.nodes > 0,
+            "register_clients must be called before resources()"
+        );
+        let mut servers = vec![ServerSpec {
+            name: "vldb".to_owned(),
+            parallelism: 2,
+        }];
+        servers.extend((0..self.config.file_servers).map(|i| ServerSpec {
+            name: format!("afs-fs{i}"),
+            parallelism: self.config.server_parallelism,
+        }));
+        FsResources {
+            servers,
+            semaphores: (0..self.nodes)
+                .map(|n| SemSpec {
+                    name: format!("client{n}-cache-mgr"),
+                    permits: 1,
+                })
+                .collect(),
+        }
+    }
+
+    fn register_clients(&mut self, nodes: usize) {
+        if self.nodes == nodes {
+            return; // idempotent: keep cache state across benchmark phases
+        }
+        self.nodes = nodes;
+        self.callback_caches = (0..nodes).map(|_| CallbackCache::new()).collect();
+        // VLDB entries effectively never expire during a run
+        self.vldb_caches = (0..nodes)
+            .map(|_| AttrCache::new(SimDuration::from_secs(1 << 24)))
+            .collect();
+    }
+
+    fn plan(
+        &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> FsResult<OpPlan> {
+        match op {
+            MetaOp::Stat { path } | MetaOp::OpenClose { path } => {
+                if self.callback_caches[client.node].lookup(path) {
+                    return Ok(OpPlan::local(self.config.cached_stat_cpu));
+                }
+            }
+            _ => {}
+        }
+        let volume = self.volume_of(op.primary_path())?;
+        // Atomic rename and hard links cannot cross volumes (paper §2.6.3).
+        match op {
+            MetaOp::Rename { from, .. } | MetaOp::Link { existing: from, .. } => {
+                if self.volume_of(from)? != volume {
+                    return Err(FsError::CrossDevice);
+                }
+            }
+            _ => {}
+        }
+        let vol_op = Self::rewrite_op(op)?;
+        let cost = apply_meta_op(&mut self.volume_fs[volume], &vol_op)?;
+        let demand = self.config.cost.demand(cost);
+        let server = ServerId(1 + self.config.volumes[volume].server);
+        let link = self.config.link.with_jitter(self.config.jitter);
+        let profile = RpcProfile::metadata();
+        let sem = self.cache_mgr_sem(client.node);
+        let mut stages = vec![
+            Stage::AcquireSem { sem },
+            Stage::ClientCpu {
+                demand: self.config.client_cpu,
+            },
+        ];
+        // first touch of a volume from this node: VLDB round trip
+        let vol_key = format!("vldb:{volume}");
+        if !self.vldb_caches[client.node].lookup(&vol_key, now) {
+            stages.push(Stage::NetDelay {
+                delay: link.one_way(profile.request_bytes, rng),
+            });
+            stages.push(Stage::Server {
+                server: AFS_VLDB,
+                demand: self.config.vldb_demand,
+            });
+            stages.push(Stage::NetDelay {
+                delay: link.one_way(profile.response_bytes, rng),
+            });
+            self.vldb_caches[client.node].fill(&vol_key, now);
+        }
+        stages.push(Stage::NetDelay {
+            delay: link.one_way(profile.request_bytes, rng),
+        });
+        stages.push(Stage::Server { server, demand });
+        stages.push(Stage::NetDelay {
+            delay: link.one_way(profile.response_bytes, rng),
+        });
+        stages.push(Stage::ReleaseSem { sem });
+        self.callback_caches[client.node].fill(op.primary_path());
+        Ok(OpPlan {
+            stages,
+            ..Default::default()
+        })
+    }
+
+    fn drop_caches(&mut self, node: usize) {
+        // AFS has a persistent disk cache (paper §3.4.3 notes it survives
+        // re-mounts); drop-caches clears callbacks but not VLDB knowledge.
+        if let Some(c) = self.callback_caches.get_mut(node) {
+            c.clear();
+        }
+    }
+
+    fn name(&self) -> &str {
+        "afs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn create_op(path: &str) -> MetaOp {
+        MetaOp::Create {
+            path: path.into(),
+            data_bytes: 0,
+        }
+    }
+
+    fn vldb_visits(plan: &OpPlan) -> usize {
+        plan.stages
+            .iter()
+            .filter(|s| matches!(s, Stage::Server { server, .. } if *server == AFS_VLDB))
+            .count()
+    }
+
+    #[test]
+    fn first_volume_access_pays_vldb_lookup() {
+        let mut m = AfsFs::with_defaults();
+        m.register_clients(2);
+        let mut rng = DetRng::new(1);
+        let c = ClientCtx { node: 0, proc: 0 };
+        let p1 = m.plan(c, &create_op("/vol0/a"), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(vldb_visits(&p1), 1, "cold VLDB");
+        let p2 = m.plan(c, &create_op("/vol0/b"), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(vldb_visits(&p2), 0, "VLDB cached");
+        // another node is cold again
+        let p3 = m
+            .plan(ClientCtx { node: 1, proc: 0 }, &create_op("/vol0/c"), SimTime::ZERO, &mut rng)
+            .unwrap();
+        assert_eq!(vldb_visits(&p3), 1);
+    }
+
+    #[test]
+    fn cache_manager_serializes_per_node() {
+        let mut m = AfsFs::with_defaults();
+        m.register_clients(1);
+        let mut rng = DetRng::new(1);
+        let plan = m
+            .plan(ClientCtx { node: 0, proc: 0 }, &create_op("/vol0/x"), SimTime::ZERO, &mut rng)
+            .unwrap();
+        assert!(matches!(plan.stages.first(), Some(Stage::AcquireSem { sem }) if *sem == SemId(0)));
+    }
+
+    #[test]
+    fn callback_makes_repeat_stat_local() {
+        let mut m = AfsFs::with_defaults();
+        m.register_clients(1);
+        let mut rng = DetRng::new(1);
+        let c = ClientCtx { node: 0, proc: 0 };
+        m.plan(c, &create_op("/vol1/f"), SimTime::ZERO, &mut rng).unwrap();
+        let stat = MetaOp::Stat {
+            path: "/vol1/f".into(),
+        };
+        assert!(m
+            .plan(c, &stat, SimTime::from_secs(3600), &mut rng)
+            .unwrap()
+            .is_client_only(), "callbacks do not expire with time");
+    }
+
+    #[test]
+    fn volumes_route_to_their_servers() {
+        let mut m = AfsFs::with_defaults();
+        m.register_clients(1);
+        let mut rng = DetRng::new(1);
+        let c = ClientCtx { node: 0, proc: 0 };
+        // default layout: vol5 lives on file server 5 % 4 = 1 → ServerId(2)
+        let plan = m.plan(c, &create_op("/vol5/f"), SimTime::ZERO, &mut rng).unwrap();
+        let touched: Vec<ServerId> = plan
+            .stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Server { server, .. } => Some(*server),
+                _ => None,
+            })
+            .collect();
+        assert!(touched.contains(&ServerId(2)));
+    }
+}

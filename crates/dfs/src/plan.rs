@@ -1,0 +1,248 @@
+//! Operation plans: how a file-system model expresses the cost and
+//! synchronization structure of one metadata operation.
+//!
+//! A [`DistFs`] model compiles each [`MetaOp`](crate::MetaOp) into an
+//! [`OpPlan`] — an ordered list of [`Stage`]s the cluster engine executes
+//! against `simcore` resources, plus optional *background* work (write-back
+//! flushes, object pre-creation) that proceeds without blocking the caller.
+
+use crate::op::MetaOp;
+use memfs::FsResult;
+use simcore::{DetRng, SimDuration, SimTime};
+
+/// Index of a server-side queueing resource declared in [`FsResources`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub usize);
+
+/// Index of a semaphore declared in [`FsResources`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SemId(pub usize);
+
+/// Which benchmark process is issuing an operation.
+///
+/// Client caches and client-side locks are per *node* (operating-system
+/// instance); the process index distinguishes intra-node parallelism
+/// (paper §3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientCtx {
+    /// Node (OS instance) index.
+    pub node: usize,
+    /// Process index within the node.
+    pub proc: usize,
+}
+
+/// One step in an operation's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Consume CPU on the issuing node (a processor-sharing resource), e.g.
+    /// syscall overhead, cache lookups, client-side protocol work.
+    ClientCpu {
+        /// Dedicated-core CPU time required.
+        demand: SimDuration,
+    },
+    /// A pure network delay (one-way message propagation + transmit).
+    NetDelay {
+        /// The delay.
+        delay: SimDuration,
+    },
+    /// Queue at a server resource and hold one of its service slots for
+    /// `demand`.
+    Server {
+        /// Target server.
+        server: ServerId,
+        /// Service demand.
+        demand: SimDuration,
+    },
+    /// Take a semaphore permit (blocks FIFO when none is free). Used for
+    /// client-side serialization (Lustre's single modifying RPC, the AFS
+    /// cache manager) and write-back windows.
+    AcquireSem {
+        /// Which semaphore.
+        sem: SemId,
+    },
+    /// Return a semaphore permit.
+    ReleaseSem {
+        /// Which semaphore.
+        sem: SemId,
+    },
+}
+
+/// Asynchronous server work spawned by an operation: the caller completes
+/// without waiting, the engine runs the job on the server, and when it
+/// finishes it optionally releases a semaphore permit (closing a write-back
+/// window slot, paper §4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundJob {
+    /// Server to run on.
+    pub server: ServerId,
+    /// Service demand.
+    pub demand: SimDuration,
+    /// Permit to release on completion.
+    pub release_sem: Option<SemId>,
+}
+
+/// A compiled operation.
+#[derive(Debug, Clone, Default)]
+pub struct OpPlan {
+    /// Ordered foreground stages.
+    pub stages: Vec<Stage>,
+    /// Background server work.
+    pub background: Vec<BackgroundJob>,
+    /// Servers to pause (consistency points triggered by this operation,
+    /// e.g. NVRAM reaching its high-water mark).
+    pub pauses: Vec<(ServerId, SimDuration)>,
+}
+
+impl OpPlan {
+    /// A plan consisting only of client CPU work (a cache hit).
+    pub fn local(demand: SimDuration) -> Self {
+        OpPlan {
+            stages: vec![Stage::ClientCpu { demand }],
+            ..Default::default()
+        }
+    }
+
+    /// Total foreground service demand excluding queueing (useful for
+    /// sanity checks in tests).
+    pub fn foreground_demand(&self) -> SimDuration {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::ClientCpu { demand } | Stage::Server { demand, .. } => *demand,
+                Stage::NetDelay { delay } => *delay,
+                _ => SimDuration::ZERO,
+            })
+            .sum()
+    }
+
+    /// `true` if the plan never leaves the client node.
+    pub fn is_client_only(&self) -> bool {
+        self.stages
+            .iter()
+            .all(|s| matches!(s, Stage::ClientCpu { .. }))
+            && self.background.is_empty()
+    }
+}
+
+/// A server-side queueing station declared by a model.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// Display name ("filer", "mds", "oss0", …).
+    pub name: String,
+    /// Parallel service slots (worker threads of the real server).
+    pub parallelism: usize,
+}
+
+/// A semaphore declared by a model.
+#[derive(Debug, Clone)]
+pub struct SemSpec {
+    /// Display name ("client0-modify-lock", …).
+    pub name: String,
+    /// Number of permits.
+    pub permits: usize,
+}
+
+/// The resources a model needs the engine to materialize.
+#[derive(Debug, Clone, Default)]
+pub struct FsResources {
+    /// Queueing stations.
+    pub servers: Vec<ServerSpec>,
+    /// Semaphores.
+    pub semaphores: Vec<SemSpec>,
+}
+
+/// Result of a periodic model timer (consistency points, commit intervals).
+#[derive(Debug, Clone, Default)]
+pub struct TimerAction {
+    /// When the model wants its timer called next (`None` = no more timers).
+    pub next: Option<SimTime>,
+    /// Servers to pause and for how long.
+    pub pauses: Vec<(ServerId, SimDuration)>,
+}
+
+/// A distributed-file-system behavioural model.
+///
+/// Implementations perform the *semantic* operation eagerly on their
+/// server-side [`MemFs`](memfs::MemFs) state (so directory sizes, allocation
+/// and uniqueness checks are real) and return the *performance* structure as
+/// an [`OpPlan`].
+pub trait DistFs: Send {
+    /// Declare queueing resources and semaphores (called once by the engine
+    /// before the run).
+    fn resources(&self) -> FsResources;
+
+    /// Tell the model how many client nodes participate so it can allocate
+    /// per-node cache state. Called once before the run.
+    fn register_clients(&mut self, nodes: usize);
+
+    /// Compile (and semantically apply) one operation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`memfs::FsError`] from the semantic application — e.g. creating
+    /// a file that already exists.
+    fn plan(
+        &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> FsResult<OpPlan>;
+
+    /// First timer request (`None` = the model needs no timers).
+    fn first_timer(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Handle a timer previously requested via [`first_timer`] /
+    /// [`TimerAction::next`].
+    ///
+    /// [`first_timer`]: DistFs::first_timer
+    fn on_timer(&mut self, _now: SimTime) -> TimerAction {
+        TimerAction::default()
+    }
+
+    /// A background job on `server` completed (e.g. a write-back flush).
+    fn on_background_complete(&mut self, _server: ServerId, _now: SimTime) {}
+
+    /// Drop all client-side caches on `node` (paper §3.4.3).
+    fn drop_caches(&mut self, node: usize);
+
+    /// Model name for labelling results.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_plan_is_client_only() {
+        let p = OpPlan::local(SimDuration::from_micros(3));
+        assert!(p.is_client_only());
+        assert_eq!(p.foreground_demand(), SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn foreground_demand_sums_stages() {
+        let p = OpPlan {
+            stages: vec![
+                Stage::ClientCpu {
+                    demand: SimDuration::from_micros(2),
+                },
+                Stage::NetDelay {
+                    delay: SimDuration::from_micros(100),
+                },
+                Stage::Server {
+                    server: ServerId(0),
+                    demand: SimDuration::from_micros(50),
+                },
+                Stage::AcquireSem { sem: SemId(0) },
+                Stage::ReleaseSem { sem: SemId(0) },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(p.foreground_demand(), SimDuration::from_micros(152));
+        assert!(!p.is_client_only());
+    }
+}

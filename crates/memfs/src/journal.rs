@@ -1,0 +1,422 @@
+//! Metadata journaling and crash-consistency machinery (paper §2.7).
+//!
+//! Three consistency techniques from the thesis are implemented:
+//!
+//! * **Metadata logging** ([`Journal`]): a write-ahead log of typed metadata
+//!   records with synchronous or asynchronous commit; after a simulated
+//!   crash, committed-but-not-checkpointed records are replayed.
+//! * **Crash counts** ([`CrashCountTable`]): Patocka's `(crash count,
+//!   transaction count)` tagging, where metadata written under an
+//!   uncommitted transaction value is ignored after a crash.
+//! * The file-system check (`fsck`-style full scan) lives in
+//!   [`MemFs::check`](crate::MemFs::check), since it needs the whole tree.
+
+use crate::attr::{FileType, Ino, Mode};
+use serde::{Deserialize, Serialize};
+
+/// When journal records become persistent (paper §2.7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum JournalMode {
+    /// No journal: after a crash only a full check can repair the tree.
+    None,
+    /// Asynchronous logging: records are committed in batches; a crash may
+    /// lose the tail of the log but the tree stays repairable.
+    #[default]
+    Async,
+    /// Synchronous logging: every record is committed before the operation
+    /// returns (NFS-server-style persistence, paper §2.6.4).
+    Sync,
+}
+
+/// A logged metadata mutation, carrying everything replay needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A regular file or symlink was created.
+    Create {
+        /// Parent directory inode.
+        parent: Ino,
+        /// Entry name.
+        name: String,
+        /// New inode number.
+        ino: Ino,
+        /// Regular or symlink.
+        file_type: FileType,
+        /// Permission bits.
+        mode: Mode,
+        /// Symlink target when `file_type` is a symlink.
+        symlink_target: Option<String>,
+    },
+    /// A directory was created.
+    Mkdir {
+        /// Parent directory inode.
+        parent: Ino,
+        /// Entry name.
+        name: String,
+        /// New inode number.
+        ino: Ino,
+        /// Permission bits.
+        mode: Mode,
+    },
+    /// A directory entry for a file was removed.
+    Unlink {
+        /// Parent directory inode.
+        parent: Ino,
+        /// Entry name.
+        name: String,
+    },
+    /// An empty directory was removed.
+    Rmdir {
+        /// Parent directory inode.
+        parent: Ino,
+        /// Entry name.
+        name: String,
+    },
+    /// An entry moved (atomic rename, paper §2.6.3).
+    Rename {
+        /// Source directory inode.
+        from_parent: Ino,
+        /// Source entry name.
+        from_name: String,
+        /// Destination directory inode.
+        to_parent: Ino,
+        /// Destination entry name.
+        to_name: String,
+    },
+    /// A hard link was added.
+    Link {
+        /// Directory receiving the new entry.
+        parent: Ino,
+        /// New entry name.
+        name: String,
+        /// Linked inode.
+        target: Ino,
+    },
+    /// Attributes changed (chmod/chown/utimes).
+    SetAttr {
+        /// Affected inode.
+        ino: Ino,
+        /// New permission bits, if changed.
+        mode: Option<Mode>,
+        /// New owner, if changed.
+        uid: Option<u32>,
+        /// New group, if changed.
+        gid: Option<u32>,
+        /// New (atime, mtime) in nanoseconds, if changed.
+        times_ns: Option<(u64, u64)>,
+    },
+    /// File size changed (write/truncate) — data itself is not journaled,
+    /// only the metadata consequence, as in ordered-mode ext3.
+    SetSize {
+        /// Affected inode.
+        ino: Ino,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// Extended attribute set (`value = Some`) or removed (`value = None`).
+    SetXattr {
+        /// Affected inode.
+        ino: Ino,
+        /// Attribute key.
+        key: String,
+        /// New value, or `None` for removal.
+        value: Option<Vec<u8>>,
+    },
+}
+
+/// Transaction id within the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId(pub u64);
+
+/// A write-ahead metadata journal.
+///
+/// The journal is storage-agnostic: it stores records in memory and tracks
+/// the commit frontier. [`MemFs`](crate::MemFs) logs a record for every
+/// metadata mutation; a simulated crash truncates uncommitted records and
+/// replays the rest onto the last checkpoint image.
+///
+/// # Example
+///
+/// ```
+/// use memfs::{Journal, JournalMode, JournalRecord, Ino};
+///
+/// let mut j = Journal::new(JournalMode::Async);
+/// j.log(JournalRecord::Unlink { parent: Ino(1), name: "x".into() });
+/// assert_eq!(j.committed_len(), 0);
+/// j.commit();
+/// assert_eq!(j.committed_len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Journal {
+    mode: JournalMode,
+    records: Vec<(TxId, JournalRecord)>,
+    committed: usize,
+    next_tx: u64,
+    commits: u64,
+    checkpoints: u64,
+}
+
+impl Journal {
+    /// Create an empty journal.
+    pub fn new(mode: JournalMode) -> Self {
+        Journal {
+            mode,
+            records: Vec::new(),
+            committed: 0,
+            next_tx: 0,
+            commits: 0,
+            checkpoints: 0,
+        }
+    }
+
+    /// The journal's persistence mode.
+    pub fn mode(&self) -> JournalMode {
+        self.mode
+    }
+
+    /// Append a record. In [`JournalMode::Sync`] the record is committed
+    /// immediately; in [`JournalMode::Async`] it stays volatile until
+    /// [`commit`](Journal::commit). In [`JournalMode::None`] the record is
+    /// discarded.
+    pub fn log(&mut self, record: JournalRecord) -> Option<TxId> {
+        if self.mode == JournalMode::None {
+            return None;
+        }
+        let tx = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.records.push((tx, record));
+        if self.mode == JournalMode::Sync {
+            self.committed = self.records.len();
+            self.commits += 1;
+        }
+        Some(tx)
+    }
+
+    /// Commit all volatile records (the periodic log flush).
+    pub fn commit(&mut self) {
+        if self.committed < self.records.len() {
+            self.committed = self.records.len();
+            self.commits += 1;
+        }
+    }
+
+    /// Number of committed records not yet checkpointed.
+    pub fn committed_len(&self) -> usize {
+        self.committed
+    }
+
+    /// Number of volatile (lose-on-crash) records.
+    pub fn volatile_len(&self) -> usize {
+        self.records.len() - self.committed
+    }
+
+    /// Total commits performed.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Total checkpoints performed.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Checkpoint: the in-place metadata is durable, so drop the log.
+    pub fn checkpoint(&mut self) {
+        self.records.clear();
+        self.committed = 0;
+        self.checkpoints += 1;
+    }
+
+    /// Simulate a crash: volatile records are lost; the committed prefix is
+    /// returned for replay onto the last checkpoint image.
+    pub fn crash(&mut self) -> Vec<JournalRecord> {
+        let replay: Vec<JournalRecord> = self.records[..self.committed]
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect();
+        self.records.clear();
+        self.committed = 0;
+        replay
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash counts (paper §2.7.1, Patocka [Pat06])
+// ---------------------------------------------------------------------------
+
+/// A `(crash count, transaction count)` tag attached to written metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrashTag {
+    /// Value of the crash counter when the metadata was written.
+    pub crash: u32,
+    /// Per-crash transaction sequence number.
+    pub tx: u64,
+}
+
+/// Patocka's crash-count table: validates metadata written before a crash
+/// without replaying a log.
+///
+/// # Example
+///
+/// ```
+/// use memfs::CrashCountTable;
+///
+/// let mut t = CrashCountTable::new();
+/// let tag = t.tag_write();
+/// t.commit_transaction();
+/// assert!(t.is_valid(tag));
+/// let lost = t.tag_write();     // written but never committed…
+/// t.mount_after_crash();        // …then the system crashes
+/// assert!(t.is_valid(tag));
+/// assert!(!t.is_valid(lost), "uncommitted metadata is ignored after crash");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrashCountTable {
+    /// `table[c]` = highest *committed* transaction for crash count `c`.
+    table: Vec<u64>,
+    current_crash: u32,
+    current_tx: u64,
+}
+
+impl CrashCountTable {
+    /// Create the table for a fresh file system (crash count 0).
+    pub fn new() -> Self {
+        CrashCountTable {
+            table: vec![0],
+            current_crash: 0,
+            current_tx: 0,
+        }
+    }
+
+    /// Current crash counter.
+    pub fn crash_count(&self) -> u32 {
+        self.current_crash
+    }
+
+    /// Tag a metadata write with the current `(crash, tx)` pair. The write
+    /// only becomes valid once [`commit_transaction`] is called.
+    ///
+    /// [`commit_transaction`]: CrashCountTable::commit_transaction
+    pub fn tag_write(&mut self) -> CrashTag {
+        self.current_tx += 1;
+        CrashTag {
+            crash: self.current_crash,
+            tx: self.current_tx,
+        }
+    }
+
+    /// Atomically publish all writes tagged so far.
+    pub fn commit_transaction(&mut self) {
+        let c = self.current_crash as usize;
+        self.table[c] = self.current_tx;
+    }
+
+    /// Mount after a crash: increment the crash count in memory. Writes
+    /// tagged with the old crash count beyond the committed transaction
+    /// value become invisible.
+    pub fn mount_after_crash(&mut self) {
+        self.current_crash += 1;
+        self.current_tx = 0;
+        self.table.push(0);
+    }
+
+    /// Is metadata carrying `tag` valid (i.e. was its transaction committed
+    /// before any crash)?
+    pub fn is_valid(&self, tag: CrashTag) -> bool {
+        match self.table.get(tag.crash as usize) {
+            Some(&committed) => tag.tx <= committed,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str) -> JournalRecord {
+        JournalRecord::Unlink {
+            parent: Ino(1),
+            name: name.to_owned(),
+        }
+    }
+
+    #[test]
+    fn async_mode_batches_commits() {
+        let mut j = Journal::new(JournalMode::Async);
+        j.log(rec("a"));
+        j.log(rec("b"));
+        assert_eq!(j.committed_len(), 0);
+        assert_eq!(j.volatile_len(), 2);
+        j.commit();
+        assert_eq!(j.committed_len(), 2);
+        assert_eq!(j.volatile_len(), 0);
+        assert_eq!(j.commits(), 1);
+    }
+
+    #[test]
+    fn sync_mode_commits_each_record() {
+        let mut j = Journal::new(JournalMode::Sync);
+        j.log(rec("a"));
+        j.log(rec("b"));
+        assert_eq!(j.committed_len(), 2);
+        assert_eq!(j.commits(), 2);
+    }
+
+    #[test]
+    fn none_mode_discards() {
+        let mut j = Journal::new(JournalMode::None);
+        assert_eq!(j.log(rec("a")), None);
+        assert_eq!(j.committed_len(), 0);
+        assert!(j.crash().is_empty());
+    }
+
+    #[test]
+    fn crash_returns_committed_prefix_only() {
+        let mut j = Journal::new(JournalMode::Async);
+        j.log(rec("a"));
+        j.commit();
+        j.log(rec("b")); // volatile, lost
+        let replay = j.crash();
+        assert_eq!(replay, vec![rec("a")]);
+        assert_eq!(j.volatile_len(), 0);
+        assert_eq!(j.committed_len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_empties_log() {
+        let mut j = Journal::new(JournalMode::Sync);
+        j.log(rec("a"));
+        j.checkpoint();
+        assert!(j.crash().is_empty(), "checkpointed records need no replay");
+        assert_eq!(j.checkpoints(), 1);
+    }
+
+    #[test]
+    fn empty_commit_does_not_count() {
+        let mut j = Journal::new(JournalMode::Async);
+        j.commit();
+        assert_eq!(j.commits(), 0);
+    }
+
+    #[test]
+    fn crash_count_multiple_crashes() {
+        let mut t = CrashCountTable::new();
+        let a = t.tag_write();
+        t.commit_transaction();
+        t.mount_after_crash();
+        let b = t.tag_write();
+        t.commit_transaction();
+        let c = t.tag_write(); // never committed
+        t.mount_after_crash();
+        assert!(t.is_valid(a));
+        assert!(t.is_valid(b));
+        assert!(!t.is_valid(c));
+        assert_eq!(t.crash_count(), 2);
+    }
+
+    #[test]
+    fn crash_tag_from_future_is_invalid() {
+        let t = CrashCountTable::new();
+        assert!(!t.is_valid(CrashTag { crash: 5, tx: 1 }));
+    }
+}

@@ -1,0 +1,186 @@
+//! Advisory byte-range locks (paper §2.3.2).
+//!
+//! POSIX `fcntl`/`lockf` locks: read locks share, write locks are exclusive,
+//! both are *advisory* — processes that do not use them are unaffected.
+//! Locks belong to an owner (process/fd) and are all released when the
+//! owner terminates.
+
+use serde::{Deserialize, Serialize};
+
+/// Lock owner identity (a process in the paper's terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockOwner(pub u64);
+
+/// Lock flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockKind {
+    /// Shared read lock: bars others from obtaining a write lock.
+    Read,
+    /// Exclusive write lock.
+    Write,
+}
+
+/// A byte range `[start, end)`; `end == u64::MAX` means "to EOF and beyond"
+/// (whole-file locks use `0..u64::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockRange {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl LockRange {
+    /// The whole file.
+    pub fn whole() -> Self {
+        LockRange {
+            start: 0,
+            end: u64::MAX,
+        }
+    }
+
+    /// A bounded range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty lock range");
+        LockRange { start, end }
+    }
+
+    fn overlaps(&self, other: &LockRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct HeldLock {
+    owner: LockOwner,
+    kind: LockKind,
+    range: LockRange,
+}
+
+/// The advisory lock table of one file.
+///
+/// # Example
+///
+/// ```
+/// use memfs::{LockKind, LockOwner, LockRange, LockTable};
+///
+/// let mut t = LockTable::new();
+/// assert!(t.try_lock(LockOwner(1), LockKind::Read, LockRange::whole()));
+/// assert!(t.try_lock(LockOwner(2), LockKind::Read, LockRange::whole()),
+///         "read locks share");
+/// assert!(!t.try_lock(LockOwner(3), LockKind::Write, LockRange::whole()),
+///         "write lock conflicts with readers");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockTable {
+    held: Vec<HeldLock>,
+}
+
+impl LockTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Would a lock request conflict (test part of test-and-set)?
+    /// A conflict exists when another owner holds an overlapping lock and
+    /// at least one of the two locks is a write lock.
+    pub fn conflicts(&self, owner: LockOwner, kind: LockKind, range: LockRange) -> bool {
+        self.held.iter().any(|h| {
+            h.owner != owner
+                && h.range.overlaps(&range)
+                && (h.kind == LockKind::Write || kind == LockKind::Write)
+        })
+    }
+
+    /// Test-and-set: take the lock if it does not conflict. Returns whether
+    /// the lock was granted. An owner may stack multiple ranges.
+    pub fn try_lock(&mut self, owner: LockOwner, kind: LockKind, range: LockRange) -> bool {
+        if self.conflicts(owner, kind, range) {
+            return false;
+        }
+        self.held.push(HeldLock { owner, kind, range });
+        true
+    }
+
+    /// Release every lock of `owner` overlapping `range`. Returns how many
+    /// lock records were removed.
+    pub fn unlock(&mut self, owner: LockOwner, range: LockRange) -> usize {
+        let before = self.held.len();
+        self.held
+            .retain(|h| h.owner != owner || !h.range.overlaps(&range));
+        before - self.held.len()
+    }
+
+    /// Release everything held by `owner` — POSIX drops all locks when the
+    /// process terminates (paper §2.3.2).
+    pub fn release_owner(&mut self, owner: LockOwner) -> usize {
+        let before = self.held.len();
+        self.held.retain(|h| h.owner != owner);
+        before - self.held.len()
+    }
+
+    /// Number of held lock records.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// `true` if no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock(LockOwner(1), LockKind::Read, LockRange::whole()));
+        assert!(t.try_lock(LockOwner(2), LockKind::Read, LockRange::whole()));
+        assert!(!t.try_lock(LockOwner(3), LockKind::Write, LockRange::whole()));
+        t.release_owner(LockOwner(1));
+        assert!(!t.try_lock(LockOwner(3), LockKind::Write, LockRange::whole()));
+        t.release_owner(LockOwner(2));
+        assert!(t.try_lock(LockOwner(3), LockKind::Write, LockRange::whole()));
+        assert!(!t.try_lock(LockOwner(1), LockKind::Read, LockRange::whole()));
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_conflict() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock(LockOwner(1), LockKind::Write, LockRange::new(0, 100)));
+        assert!(t.try_lock(LockOwner(2), LockKind::Write, LockRange::new(100, 200)));
+        assert!(!t.try_lock(LockOwner(3), LockKind::Write, LockRange::new(50, 150)));
+    }
+
+    #[test]
+    fn same_owner_may_stack() {
+        let mut t = LockTable::new();
+        assert!(t.try_lock(LockOwner(1), LockKind::Write, LockRange::whole()));
+        assert!(t.try_lock(LockOwner(1), LockKind::Read, LockRange::new(0, 10)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unlock_by_range() {
+        let mut t = LockTable::new();
+        t.try_lock(LockOwner(1), LockKind::Write, LockRange::new(0, 10));
+        t.try_lock(LockOwner(1), LockKind::Write, LockRange::new(20, 30));
+        assert_eq!(t.unlock(LockOwner(1), LockRange::new(0, 15)), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.try_lock(LockOwner(2), LockKind::Write, LockRange::new(0, 10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty lock range")]
+    fn empty_range_panics() {
+        let _ = LockRange::new(5, 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! Change notifications (paper §2.8.3).
+//!
+//! Data-management applications (backup, indexing, virus scanning) must
+//! otherwise scan the whole namespace to find changed files; event-based
+//! mechanisms like Linux's FAM/inotify or NetApp's file-policy notifications
+//! avoid that. [`ChangeLog`] is the file-system-side event buffer:
+//! subscribers register path prefixes and drain matching events.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// A file or symlink was created.
+    Create,
+    /// A directory was created.
+    Mkdir,
+    /// An entry was removed.
+    Remove,
+    /// An entry was renamed (event carries the destination path).
+    Rename,
+    /// File data was written.
+    Write,
+    /// Attributes changed.
+    SetAttr,
+}
+
+/// One change event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeEvent {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub kind: ChangeKind,
+    /// The affected path.
+    pub path: String,
+}
+
+/// Subscriber handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WatchId(u64);
+
+#[derive(Debug, Clone)]
+struct Watch {
+    id: WatchId,
+    prefix: String,
+    cursor: u64,
+}
+
+/// The event buffer of one file system.
+///
+/// # Example
+///
+/// ```
+/// use memfs::{ChangeKind, ChangeLog};
+///
+/// let mut log = ChangeLog::new();
+/// let watch = log.watch("/mail");
+/// log.record(ChangeKind::Create, "/mail/new/1");
+/// log.record(ChangeKind::Create, "/web/index.html");
+/// let events = log.drain(watch);
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].path, "/mail/new/1");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChangeLog {
+    events: Vec<ChangeEvent>,
+    watches: Vec<Watch>,
+    next_watch: u64,
+    next_seq: u64,
+    enabled: bool,
+}
+
+impl ChangeLog {
+    /// Create a log; recording is enabled once the first watch exists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` while at least one watch is registered.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Subscribe to changes under `prefix` (`"/"` = everything — unlike
+    /// FAM, which the paper notes cannot watch the whole file system).
+    pub fn watch(&mut self, prefix: &str) -> WatchId {
+        let id = WatchId(self.next_watch);
+        self.next_watch += 1;
+        self.watches.push(Watch {
+            id,
+            prefix: prefix.trim_end_matches('/').to_owned(),
+            cursor: self.next_seq,
+        });
+        self.enabled = true;
+        id
+    }
+
+    /// Remove a watch. Returns `true` if it existed.
+    pub fn unwatch(&mut self, id: WatchId) -> bool {
+        let before = self.watches.len();
+        self.watches.retain(|w| w.id != id);
+        if self.watches.is_empty() {
+            self.enabled = false;
+            self.events.clear();
+        }
+        self.watches.len() != before
+    }
+
+    /// Record an event (no-op without watches, so the hot path stays free).
+    pub fn record(&mut self, kind: ChangeKind, path: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(ChangeEvent {
+            seq: self.next_seq,
+            kind,
+            path: path.to_owned(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Drain the events a watch has not yet seen that match its prefix.
+    pub fn drain(&mut self, id: WatchId) -> Vec<ChangeEvent> {
+        let Some(w) = self.watches.iter_mut().find(|w| w.id == id) else {
+            return Vec::new();
+        };
+        let matching: Vec<ChangeEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.seq >= w.cursor)
+            .filter(|e| {
+                w.prefix.is_empty()
+                    || e.path == w.prefix
+                    || e.path.starts_with(&format!("{}/", w.prefix))
+            })
+            .cloned()
+            .collect();
+        w.cursor = self.next_seq;
+        // garbage-collect events every watch has consumed
+        let min_cursor = self.watches.iter().map(|w| w.cursor).min().unwrap_or(0);
+        self.events.retain(|e| e.seq >= min_cursor);
+        matching
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_without_watches() {
+        let mut log = ChangeLog::new();
+        log.record(ChangeKind::Create, "/a");
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn prefix_filtering() {
+        let mut log = ChangeLog::new();
+        let mail = log.watch("/mail");
+        let all = log.watch("/");
+        log.record(ChangeKind::Create, "/mail/1");
+        log.record(ChangeKind::Remove, "/web/x");
+        assert_eq!(log.drain(mail).len(), 1);
+        assert_eq!(log.drain(all).len(), 2);
+    }
+
+    #[test]
+    fn cursor_prevents_replay() {
+        let mut log = ChangeLog::new();
+        let w = log.watch("/");
+        log.record(ChangeKind::Create, "/a");
+        assert_eq!(log.drain(w).len(), 1);
+        assert_eq!(log.drain(w).len(), 0, "already consumed");
+        log.record(ChangeKind::Write, "/a");
+        assert_eq!(log.drain(w).len(), 1);
+    }
+
+    #[test]
+    fn watch_sees_only_future_events() {
+        let mut log = ChangeLog::new();
+        let early = log.watch("/");
+        log.record(ChangeKind::Create, "/old");
+        let late = log.watch("/");
+        log.record(ChangeKind::Create, "/new");
+        assert_eq!(log.drain(late).len(), 1, "no events from before the watch");
+        assert_eq!(log.drain(early).len(), 2);
+    }
+
+    #[test]
+    fn gc_after_all_consumed() {
+        let mut log = ChangeLog::new();
+        let w = log.watch("/");
+        log.record(ChangeKind::Create, "/a");
+        log.record(ChangeKind::Create, "/b");
+        assert_eq!(log.len(), 2);
+        log.drain(w);
+        assert!(log.is_empty(), "events collected once every watch saw them");
+    }
+
+    #[test]
+    fn unwatch_disables_when_last() {
+        let mut log = ChangeLog::new();
+        let w = log.watch("/");
+        assert!(log.unwatch(w));
+        assert!(!log.unwatch(w));
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn prefix_does_not_match_sibling() {
+        let mut log = ChangeLog::new();
+        let w = log.watch("/mail");
+        log.record(ChangeKind::Create, "/mailbox/1");
+        assert!(log.drain(w).is_empty(), "/mailbox is not under /mail");
+    }
+}

@@ -1,0 +1,338 @@
+//! Network model for the distributed file-system simulations.
+//!
+//! Metadata operations in distributed file systems are dominated by network
+//! round trips (paper §4.6 studies the influence of network latency
+//! explicitly). This crate provides:
+//!
+//! * [`LinkSpec`] — latency + bandwidth + jitter of one link,
+//! * [`Endpoint`] — a network party (client node, file server, MDS, …),
+//! * [`Topology`] — per-pair link resolution with a default link,
+//! * [`RpcProfile`] — request/response payload sizes per operation so RPC
+//!   cost scales with message size.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{Endpoint, LinkSpec, Topology};
+//! use simcore::{DetRng, SimDuration};
+//!
+//! let mut topo = Topology::new(LinkSpec::lan());
+//! let client = topo.add_endpoint("client0");
+//! let server = topo.add_endpoint("filer");
+//! topo.set_link(client, server, LinkSpec::wan(SimDuration::from_millis(5)));
+//! let mut rng = DetRng::new(1);
+//! let rtt = topo.rtt(client, server, 128, 128, &mut rng);
+//! assert!(rtt >= SimDuration::from_millis(10), "two WAN crossings");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use simcore::{DetRng, SimDuration};
+use std::collections::HashMap;
+
+/// A network party. Returned by [`Topology::add_endpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint(pub u32);
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ep#{}", self.0)
+    }
+}
+
+/// One directed link's characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Usable bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Multiplicative latency jitter spread in `[0, 1)` (0 = deterministic).
+    pub jitter: f64,
+}
+
+impl LinkSpec {
+    /// A typical data-center Gigabit-Ethernet link: 100 µs one-way latency,
+    /// 1 Gbit/s (the LRZ Linux cluster network of §4.1.2).
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 125_000_000,
+            jitter: 0.0,
+        }
+    }
+
+    /// A 10-GigE link: 50 µs one-way latency, 10 Gbit/s.
+    pub fn ten_gige() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(50),
+            bandwidth_bps: 1_250_000_000,
+            jitter: 0.0,
+        }
+    }
+
+    /// An intra-node "link" (loopback / NUMAlink): 5 µs, effectively
+    /// unlimited bandwidth — used when client and server share a node.
+    pub fn local() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(5),
+            bandwidth_bps: 12_500_000_000,
+            jitter: 0.0,
+        }
+    }
+
+    /// A WAN link with the given one-way latency and 100 Mbit/s bandwidth
+    /// (the latency-sweep experiment of §4.6).
+    pub fn wan(latency: SimDuration) -> Self {
+        LinkSpec {
+            latency,
+            bandwidth_bps: 12_500_000,
+            jitter: 0.0,
+        }
+    }
+
+    /// Builder-style jitter override.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder-style latency override.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Time to move `payload` bytes one way across this link.
+    pub fn one_way(&self, payload: u64, rng: &mut DetRng) -> SimDuration {
+        let transmit =
+            SimDuration::from_secs_f64(payload as f64 / self.bandwidth_bps.max(1) as f64);
+        let latency = if self.jitter > 0.0 {
+            self.latency.mul_f64(rng.jitter(self.jitter))
+        } else {
+            self.latency
+        };
+        latency + transmit
+    }
+}
+
+/// Request/response payload sizes of one RPC (bytes on the wire).
+///
+/// The defaults follow typical NFSv3 message sizes: small requests, small
+/// replies for pure metadata operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpcProfile {
+    /// Request payload bytes.
+    pub request_bytes: u64,
+    /// Response payload bytes.
+    pub response_bytes: u64,
+}
+
+impl RpcProfile {
+    /// A small metadata RPC (LOOKUP/GETATTR/CREATE-sized, ~128/128 bytes).
+    pub fn metadata() -> Self {
+        RpcProfile {
+            request_bytes: 128,
+            response_bytes: 128,
+        }
+    }
+
+    /// A metadata RPC carrying `extra` data bytes in the request (e.g. a
+    /// small file write piggy-backed on creation).
+    pub fn metadata_with_data(extra: u64) -> Self {
+        RpcProfile {
+            request_bytes: 128 + extra,
+            response_bytes: 128,
+        }
+    }
+
+    /// A readdir-style RPC whose response grows with the entry count.
+    pub fn readdir(entries: u64) -> Self {
+        RpcProfile {
+            request_bytes: 128,
+            response_bytes: 128 + entries * 64,
+        }
+    }
+}
+
+/// The set of endpoints and links.
+///
+/// Links are symmetric: `set_link(a, b, s)` also applies to `b → a`.
+#[derive(Debug)]
+pub struct Topology {
+    default_link: LinkSpec,
+    names: Vec<String>,
+    links: HashMap<(Endpoint, Endpoint), LinkSpec>,
+}
+
+impl Topology {
+    /// Create a topology where unspecified pairs use `default_link`.
+    pub fn new(default_link: LinkSpec) -> Self {
+        Topology {
+            default_link,
+            names: Vec::new(),
+            links: HashMap::new(),
+        }
+    }
+
+    /// Register an endpoint.
+    pub fn add_endpoint(&mut self, name: &str) -> Endpoint {
+        let id = Endpoint(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Endpoint display name.
+    pub fn name(&self, ep: Endpoint) -> &str {
+        &self.names[ep.0 as usize]
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no endpoints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Override the (symmetric) link between two endpoints.
+    pub fn set_link(&mut self, a: Endpoint, b: Endpoint, spec: LinkSpec) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.insert(key, spec);
+    }
+
+    /// The link between two endpoints ([`LinkSpec::local`] when they are the
+    /// same endpoint and no override exists).
+    pub fn link(&self, a: Endpoint, b: Endpoint) -> LinkSpec {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        match self.links.get(&key) {
+            Some(&s) => s,
+            None if a == b => LinkSpec::local(),
+            None => self.default_link,
+        }
+    }
+
+    /// One-way delay for `payload` bytes from `a` to `b`.
+    pub fn one_way(&self, a: Endpoint, b: Endpoint, payload: u64, rng: &mut DetRng) -> SimDuration {
+        self.link(a, b).one_way(payload, rng)
+    }
+
+    /// Full round-trip time for a request/response pair (excluding server
+    /// service time, which the file-system models charge separately).
+    pub fn rtt(
+        &self,
+        a: Endpoint,
+        b: Endpoint,
+        request_bytes: u64,
+        response_bytes: u64,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        let link = self.link(a, b);
+        link.one_way(request_bytes, rng) + link.one_way(response_bytes, rng)
+    }
+
+    /// RTT for a profiled RPC.
+    pub fn rpc(&self, a: Endpoint, b: Endpoint, profile: RpcProfile, rng: &mut DetRng) -> SimDuration {
+        self.rtt(a, b, profile.request_bytes, profile.response_bytes, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(42)
+    }
+
+    #[test]
+    fn default_link_applies_to_unknown_pairs() {
+        let mut t = Topology::new(LinkSpec::lan());
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        assert_eq!(t.link(a, b), LinkSpec::lan());
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn self_link_is_local() {
+        let mut t = Topology::new(LinkSpec::lan());
+        let a = t.add_endpoint("a");
+        assert_eq!(t.link(a, a), LinkSpec::local());
+    }
+
+    #[test]
+    fn link_override_is_symmetric() {
+        let mut t = Topology::new(LinkSpec::lan());
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        let wan = LinkSpec::wan(SimDuration::from_millis(10));
+        t.set_link(a, b, wan);
+        assert_eq!(t.link(a, b), wan);
+        assert_eq!(t.link(b, a), wan);
+    }
+
+    #[test]
+    fn one_way_includes_transmit_time() {
+        let link = LinkSpec {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 1_000_000, // 1 MB/s
+            jitter: 0.0,
+        };
+        let d = link.one_way(500_000, &mut rng());
+        assert_eq!(d, SimDuration::from_millis(501), "1 ms latency + 0.5 s transmit");
+    }
+
+    #[test]
+    fn rtt_is_two_crossings() {
+        let mut t = Topology::new(LinkSpec::wan(SimDuration::from_millis(5)));
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        let r = t.rtt(a, b, 0, 0, &mut rng());
+        assert_eq!(r, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn jitter_varies_latency_within_bounds() {
+        let link = LinkSpec::lan().with_jitter(0.2);
+        let mut r = rng();
+        let base = LinkSpec::lan().latency;
+        for _ in 0..100 {
+            let d = link.one_way(0, &mut r);
+            assert!(d >= base.mul_f64(0.8) && d <= base.mul_f64(1.2), "{d}");
+        }
+    }
+
+    #[test]
+    fn rpc_profiles_scale_with_content() {
+        let small = RpcProfile::metadata();
+        let big = RpcProfile::readdir(10_000);
+        assert!(big.response_bytes > small.response_bytes * 100);
+        let with_data = RpcProfile::metadata_with_data(64);
+        assert_eq!(with_data.request_bytes, 192);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = {
+            let mut t = Topology::new(LinkSpec::lan().with_jitter(0.1));
+            t.add_endpoint("a");
+            t.add_endpoint("b");
+            t
+        };
+        let mut r1 = DetRng::new(7);
+        let mut r2 = DetRng::new(7);
+        for _ in 0..50 {
+            assert_eq!(
+                t.rtt(Endpoint(0), Endpoint(1), 128, 128, &mut r1),
+                t.rtt(Endpoint(0), Endpoint(1), 128, 128, &mut r2)
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! FIFO mutual-exclusion tokens held across simulation stages.
+
+use crate::JobId;
+use std::collections::VecDeque;
+
+/// A FIFO lock whose holder keeps the token until it explicitly releases it.
+///
+/// Unlike [`FifoResource`](crate::FifoResource), whose "service" is a fixed
+/// timed stage, a `HoldLock` is held across an arbitrary number of subsequent
+/// stages — e.g. a Lustre client holding its single modifying-RPC slot for
+/// the whole round trip to the MDS, or the AFS cache manager serializing all
+/// metadata RPCs of one client node.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{HoldLock, JobId};
+///
+/// let mut lock = HoldLock::new();
+/// assert!(lock.acquire(JobId(1)), "free lock granted immediately");
+/// assert!(!lock.acquire(JobId(2)), "second job queues");
+/// assert_eq!(lock.release(), Some(JobId(2)));
+/// assert_eq!(lock.release(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct HoldLock {
+    holder: Option<JobId>,
+    queue: VecDeque<JobId>,
+    acquisitions: u64,
+    max_queue_len: usize,
+}
+
+impl HoldLock {
+    /// Create a free lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current holder, if any.
+    pub fn holder(&self) -> Option<JobId> {
+        self.holder
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Largest waiter queue observed.
+    pub fn max_queue_len(&self) -> usize {
+        self.max_queue_len
+    }
+
+    /// Try to acquire the lock for `job`. Returns `true` if granted
+    /// immediately; otherwise the job is queued FIFO and will be returned by
+    /// a later [`release`](HoldLock::release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` already holds the lock (recursive acquisition would
+    /// deadlock the simulation).
+    pub fn acquire(&mut self, job: JobId) -> bool {
+        assert!(
+            self.holder != Some(job),
+            "{job} attempted recursive lock acquisition"
+        );
+        if self.holder.is_none() {
+            self.holder = Some(job);
+            self.acquisitions += 1;
+            true
+        } else {
+            self.queue.push_back(job);
+            self.max_queue_len = self.max_queue_len.max(self.queue.len());
+            false
+        }
+    }
+
+    /// Release the lock, handing it to the next queued waiter if any.
+    /// Returns the new holder so the caller can resume that job's stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn release(&mut self) -> Option<JobId> {
+        assert!(self.holder.is_some(), "release() on a free lock");
+        self.holder = self.queue.pop_front();
+        if self.holder.is_some() {
+            self.acquisitions += 1;
+        }
+        self.holder
+    }
+
+    /// Remove a waiting job from the queue (e.g. the run's deadline passed
+    /// while it was blocked). Returns `true` if the job was queued.
+    pub fn cancel_waiter(&mut self, job: JobId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|&j| j == job) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_handoff() {
+        let mut l = HoldLock::new();
+        assert!(l.acquire(JobId(1)));
+        assert!(!l.acquire(JobId(2)));
+        assert!(!l.acquire(JobId(3)));
+        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.release(), Some(JobId(2)));
+        assert_eq!(l.release(), Some(JobId(3)));
+        assert_eq!(l.release(), None);
+        assert_eq!(l.acquisitions(), 3);
+        assert_eq!(l.max_queue_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive lock acquisition")]
+    fn recursive_acquire_panics() {
+        let mut l = HoldLock::new();
+        l.acquire(JobId(1));
+        l.acquire(JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "release() on a free lock")]
+    fn release_free_lock_panics() {
+        let mut l = HoldLock::new();
+        l.release();
+    }
+
+    #[test]
+    fn cancel_waiter_removes_from_queue() {
+        let mut l = HoldLock::new();
+        l.acquire(JobId(1));
+        l.acquire(JobId(2));
+        l.acquire(JobId(3));
+        assert!(l.cancel_waiter(JobId(2)));
+        assert!(!l.cancel_waiter(JobId(2)));
+        assert_eq!(l.release(), Some(JobId(3)));
+    }
+}

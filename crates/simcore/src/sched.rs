@@ -1,0 +1,244 @@
+//! The event scheduler: a time-ordered queue with deterministic tie-breaking.
+
+use crate::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle for a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events carry an arbitrary payload `E`. Two events scheduled for the same
+/// instant are delivered in the order they were scheduled (FIFO), which makes
+/// whole simulations reproducible regardless of hash-map iteration order or
+/// other incidental nondeterminism in the caller.
+///
+/// Popping an event advances the virtual clock ([`Scheduler::now`]) to the
+/// event's timestamp; the clock never moves backwards.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{Scheduler, SimTime};
+///
+/// let mut s = Scheduler::new();
+/// let a = s.schedule_at(SimTime::from_secs(1), 'a');
+/// let _b = s.schedule_at(SimTime::from_secs(1), 'b');
+/// s.cancel(a);
+/// assert_eq!(s.pop(), Some((SimTime::from_secs(1), 'b')));
+/// assert_eq!(s.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Create an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// The current virtual time (timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` for absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Scheduler::now`]).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {at} < {}",
+            self.now
+        );
+        let id = EventId(self.seq);
+        self.heap.push(Entry {
+            key: Reverse((at, self.seq)),
+            id,
+            payload,
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedule `payload` for `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an already
+    /// delivered or already cancelled event returns `false` and is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        // We cannot cheaply tell "already delivered" from "pending" without a
+        // side table, so keep a tombstone and let `pop` skip it; tombstones
+        // for delivered events are purged lazily.
+        if self.cancelled.contains(&id) {
+            return false;
+        }
+        let pending = self.heap.iter().any(|e| e.id == id);
+        if pending {
+            self.cancelled.insert(id);
+        }
+        pending
+    }
+
+    /// Timestamp of the next pending event without delivering it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        let at = entry.key.0 .0;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, entry.payload))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_secs(1), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ordering() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), 'c');
+        s.schedule_at(SimTime::from_secs(1), 'a');
+        s.schedule_at(SimTime::from_secs(2), 'b');
+        assert_eq!(s.pop(), Some((SimTime::from_secs(1), 'a')));
+        assert_eq!(s.pop(), Some((SimTime::from_secs(2), 'b')));
+        assert_eq!(s.pop(), Some((SimTime::from_secs(3), 'c')));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(2), ());
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), 'a');
+        let b = s.schedule_at(SimTime::from_secs(2), 'b');
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double cancel is a no-op");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop(), Some((SimTime::from_secs(2), 'b')));
+        assert!(!s.cancel(b), "cancel after delivery is a no-op");
+    }
+
+    #[test]
+    fn peek_does_not_deliver() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), ());
+        s.schedule_at(SimTime::from_secs(2), ());
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Streaming statistics (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean / variance / min / max accumulator.
+///
+/// Used throughout the result-preprocessing pipeline, e.g. to compute the
+/// standard deviation and coefficient of variation of per-process throughput
+/// (paper §3.3.9, listing 3.4).
+///
+/// # Example
+///
+/// ```
+/// use simcore::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_stddev(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than one observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample variance (Bessel-corrected; 0 if fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Coefficient of variation: population stddev / mean (0 if the mean is
+    /// zero, matching the convention in the paper's listing 3.4 where idle
+    /// intervals report COV 0).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.population_stddev() / m
+        }
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// A log-bucketed latency histogram: cheap to update per operation, good
+/// enough for percentile reporting (each bucket covers one power of two of
+/// nanoseconds, so percentiles are exact to within 2×).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram (64 power-of-two buckets).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        (64 - ns.leading_zeros()) as usize % 64
+    }
+
+    /// Record one latency.
+    pub fn push(&mut self, latency: crate::SimDuration) {
+        let ns = latency.as_nanos();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> crate::SimDuration {
+        if self.count == 0 {
+            crate::SimDuration::ZERO
+        } else {
+            crate::SimDuration::from_nanos(self.sum_ns / self.count)
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> crate::SimDuration {
+        crate::SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate percentile (`0.0..=1.0`): the upper bound of the bucket
+    /// containing the p-th observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> crate::SimDuration {
+        assert!((0.0..=1.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return crate::SimDuration::ZERO;
+        }
+        let rank = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // bucket i holds values in [2^(i-1), 2^i)
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return crate::SimDuration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_stddev(), 0.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.population_stddev(), 2.0);
+        assert!((s.coefficient_of_variation() - 0.4).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_values_have_zero_cov() {
+        let s: OnlineStats = std::iter::repeat(3.5).take(16).collect();
+        assert!(s.coefficient_of_variation() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs = [1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        let seq: OnlineStats = xs.into_iter().collect();
+        let a: OnlineStats = xs[..3].iter().copied().collect();
+        let mut b: OnlineStats = xs[3..].iter().copied().collect();
+        b.merge(&a);
+        assert!((b.mean() - seq.mean()).abs() < 1e-12);
+        assert!((b.population_variance() - seq.population_variance()).abs() < 1e-9);
+        assert_eq!(b.count(), seq.count());
+        assert_eq!(b.min(), seq.min());
+        assert_eq!(b.max(), seq.max());
+    }
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        use crate::SimDuration;
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.push(SimDuration::from_micros(100)); // bucket ~2^17
+        }
+        for _ in 0..10 {
+            h.push(SimDuration::from_millis(10)); // bucket ~2^24
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(0.5);
+        assert!(p50 >= SimDuration::from_micros(100) && p50 < SimDuration::from_micros(300), "{p50}");
+        let p99 = h.percentile(0.99);
+        assert!(p99 >= SimDuration::from_millis(10), "{p99}");
+        assert_eq!(h.max(), SimDuration::from_millis(10));
+        let mean = h.mean().as_secs_f64();
+        assert!((mean - (90.0 * 100e-6 + 10.0 * 10e-3) / 100.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn latency_histogram_merge() {
+        use crate::SimDuration;
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.push(SimDuration::from_micros(1));
+        b.push(SimDuration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), crate::SimDuration::ZERO);
+        assert_eq!(h.mean(), crate::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

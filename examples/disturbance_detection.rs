@@ -1,0 +1,122 @@
+//! Disturbance detection with time-interval logging: the paper's central
+//! methodological claim (§3.2.5) is that summary numbers hide what
+//! per-interval logs reveal. This example plants a hidden disturbance in
+//! one of two otherwise identical simulated runs and shows how the COV
+//! trace pinpoints it — without being told where (or whether) it happened.
+//!
+//! ```text
+//! cargo run --release --example disturbance_detection
+//! ```
+
+use cluster::{Disturbance, SimConfig};
+use dfs::NfsFs;
+use dmetabench::{preprocess, Preprocessed, ResultSet};
+use simcore::{SimDuration, SimTime};
+
+fn run(with_disturbance: bool) -> Preprocessed {
+    let mut model = NfsFs::with_defaults();
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(30));
+    cfg.node_cores = 1;
+    if with_disturbance {
+        cfg.disturbances.push(Disturbance::CpuHog {
+            node: 2,
+            start: SimTime::from_secs(11),
+            end: SimTime::from_secs(17),
+            weight: 10.0,
+        });
+    }
+    let res = bench_run(&mut model, &cfg);
+    let rs = ResultSet::from_run("MakeFiles", 8, 1, &res);
+    preprocess(&rs, &[])
+}
+
+fn bench_run(model: &mut NfsFs, cfg: &SimConfig) -> cluster::SimRunResult {
+    let workers: Vec<cluster::WorkerSpec> =
+        (0..8).map(|n| cluster::WorkerSpec::new(n, 0)).collect();
+    let streams: Vec<Box<dyn cluster::OpStream>> = workers
+        .iter()
+        .map(|w| {
+            let dir = format!("/bench/n{}", w.node);
+            let s: Box<dyn cluster::OpStream> = Box::new(move |i: u64| {
+                Some(dfs::MetaOp::Create {
+                    path: format!("{dir}/sub{}/f{i}", i / 5000),
+                    data_bytes: 0,
+                })
+            });
+            s
+        })
+        .collect();
+    let names: Vec<String> = (0..8).map(|i| format!("node{i}")).collect();
+    cluster::run_sim(model, &names, workers, streams, cfg)
+}
+
+/// Scan a COV trace for sustained elevation and report the window.
+fn detect(pre: &Preprocessed) -> Option<(f64, f64)> {
+    let baseline: f64 = {
+        let head: Vec<f64> = pre
+            .intervals
+            .iter()
+            .filter(|r| r.timestamp > 1.0 && r.timestamp <= 6.0)
+            .map(|r| r.cov)
+            .collect();
+        head.iter().sum::<f64>() / head.len().max(1) as f64
+    };
+    let threshold = (baseline * 8.0).max(0.03);
+    // Drop warm-up and the final intervals: the run's tail always shows a
+    // COV spike when processes stop at slightly different instants (the
+    // paper's listing 3.4 shows the same artifact in its last row).
+    let usable = &pre.intervals[10..pre.intervals.len().saturating_sub(5)];
+    // longest sustained run of elevated COV
+    let mut best: Option<(f64, f64)> = None;
+    let mut cur: Option<(f64, f64)> = None;
+    for r in usable {
+        if r.cov > threshold {
+            cur = Some(match cur {
+                Some((s, _)) => (s, r.timestamp),
+                None => (r.timestamp, r.timestamp),
+            });
+        } else {
+            if let Some((s, e)) = cur.take() {
+                if best.is_none_or(|(bs, be)| e - s > be - bs) {
+                    best = Some((s, e));
+                }
+            }
+        }
+    }
+    if let Some((s, e)) = cur {
+        if best.is_none_or(|(bs, be)| e - s > be - bs) {
+            best = Some((s, e));
+        }
+    }
+    best.filter(|(s, e)| e - s >= 1.0)
+}
+
+fn main() {
+    println!("run A: clean; run B: a CPU hog hits ONE node somewhere. Let's find it.\n");
+    let a = run(false);
+    let b = run(true);
+
+    for (name, pre) in [("A", &a), ("B", &b)] {
+        match detect(pre) {
+            Some((s, e)) => println!(
+                "run {name}: DISTURBANCE detected — COV elevated from {s:.1}s to {e:.1}s"
+            ),
+            None => println!("run {name}: clean — COV flat for the whole run"),
+        }
+        println!(
+            "         wall-clock average {:.0} ops/s, stonewall {:.0} ops/s",
+            pre.wallclock_avg, pre.stonewall_avg
+        );
+    }
+
+    let (s, e) = detect(&b).expect("the planted hog must be detected");
+    assert!(detect(&a).is_none(), "no false positive on the clean run");
+    assert!(
+        (10.0..=13.0).contains(&s) && (16.0..=19.0).contains(&e),
+        "detected window ({s:.1}-{e:.1}) brackets the planted 11-17 s hog"
+    );
+    println!("\nThe planted window was 11–17 s on node 2 — found from the COV trace alone,");
+    println!("while the summary averages of the two runs differ by only a few percent");
+    println!("(the paper's argument for time-interval logging, §3.2.5).");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run a small DMetabench campaign against the simulated
+//! NFS/WAFL filer and print the paper-style outputs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cluster::{MpiWorld, Placement, SimConfig};
+use dfs::NfsFs;
+use dmetabench::{chart, BenchParams, Runner};
+use simcore::SimDuration;
+
+fn main() {
+    // 1. Describe the "MPI world": 4 nodes × 2 slots, as if launched with
+    //    `mpirun -np 8` and a hostfile (paper listing 3.2).
+    let world = MpiWorld::uniform(4, 2);
+    let placement = Placement::discover(&world);
+    println!(
+        "discovered {} nodes, master on rank {}, max {} workers per node",
+        placement.node_count(),
+        placement.master_rank,
+        placement.max_ppn()
+    );
+
+    // 2. Choose operations and parameters (paper Table 3.4).
+    let params = BenchParams {
+        operations: vec!["MakeFiles".into(), "StatFiles".into(), "DeleteFiles".into()],
+        problem_size: 2_000,
+        duration: SimDuration::from_secs(5),
+        label: "quickstart".into(),
+        ..BenchParams::default()
+    };
+
+    // 3. Run the campaign against the simulated NFS filer.
+    let campaign = Runner::new(params).run_simulated(
+        &placement,
+        || Box::new(NfsFs::with_defaults()),
+        &SimConfig::default(),
+    );
+
+    // 4. The listing-3.5-style summary across every (nodes × ppn) combo.
+    println!("\n{}", campaign.summary_tsv());
+
+    // 5. A performance-vs-nodes chart for MakeFiles (paper Fig. 3.13).
+    let series = vec![chart::Series::new(
+        "MakeFiles on NFS (1 ppn)",
+        Runner::nodes_series(&campaign, "MakeFiles", 1),
+    )];
+    println!("{}", chart::nodes_chart(&series));
+
+    // 6. And the combined time chart of the largest run (paper Fig. 3.11).
+    let biggest = campaign
+        .results
+        .iter()
+        .filter(|r| r.operation == "MakeFiles")
+        .max_by_key(|r| r.result_set.total_processes())
+        .expect("campaign has MakeFiles results");
+    println!("{}", chart::time_chart(&biggest.pre));
+
+    // 7. Results can be written out like the original tool writes its
+    //    result directory (TSVs + profile.json).
+    let dir = std::env::temp_dir().join("dmetabench-quickstart");
+    campaign.write_to_dir(&dir).expect("writable temp dir");
+    println!("full result set written to {}", dir.display());
+}

@@ -1,0 +1,63 @@
+//! Benchmark a *real* file system: DMetabench's wall-clock mode drives
+//! actual `std::fs` metadata syscalls on a temporary directory, with one
+//! worker thread per process and 100 ms interval logging — the same
+//! pipeline the simulated runs use.
+//!
+//! ```text
+//! cargo run --release --example real_fs_bench [target-dir]
+//! ```
+//!
+//! Point `target-dir` at a network mount to benchmark a real NFS server
+//! exactly the way the paper does.
+
+use cluster::ThreadRunConfig;
+use dmetabench::{chart, BenchParams, Runner};
+use memfs::StdFs;
+use simcore::SimDuration;
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("dmetabench-real-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    println!("benchmarking real directory: {target}");
+
+    let params = BenchParams {
+        operations: vec![
+            "MakeFiles".into(),
+            "StatFiles".into(),
+            "OpenCloseFiles".into(),
+            "DeleteFiles".into(),
+        ],
+        problem_size: 3_000,
+        duration: SimDuration::from_secs(2),
+        ppn_step: 1,
+        label: format!("real-fs {target}"),
+        ..BenchParams::default()
+    };
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let target_for_factory = target.clone();
+    let campaign = Runner::new(params).run_real(
+        move |_worker| {
+            Box::new(StdFs::new(&target_for_factory).expect("writable benchmark directory"))
+        },
+        max_threads,
+        &ThreadRunConfig::default(),
+    );
+
+    println!("\n{}", campaign.summary_tsv());
+
+    let series = vec![chart::Series::new(
+        "MakeFiles (real fs)",
+        Runner::processes_series(&campaign, "MakeFiles"),
+    )];
+    println!("{}", chart::processes_chart(&series));
+
+    println!("environment profile:\n{}", campaign.profile.to_json());
+    let _ = std::fs::remove_dir_all(&target);
+}

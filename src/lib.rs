@@ -1,0 +1,19 @@
+//! Umbrella crate for the DMetabench reproduction suite.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; all functionality lives in the member crates:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation engine
+//! * [`memfs`] — in-memory POSIX-like file-system substrate
+//! * [`netsim`] — network latency/bandwidth model
+//! * [`dfs`] — distributed file-system behavioural models (NFS, Lustre, CXFS,
+//!   Ontap GX, AFS)
+//! * [`cluster`] — node/placement model and the simulated / threaded engines
+//! * [`dmetabench`] — the DMetabench benchmark framework itself
+
+pub use cluster;
+pub use dfs;
+pub use dmetabench;
+pub use memfs;
+pub use netsim;
+pub use simcore;

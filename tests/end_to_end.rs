@@ -1,0 +1,162 @@
+//! End-to-end integration tests spanning the whole stack: placement →
+//! runner → engine → file-system model → result files → preprocessing →
+//! charts, in both simulated and real mode.
+
+use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
+use dfs::{DistFs, LustreFs, NfsFs};
+use dmetabench::{chart, preprocess, BenchParams, ResultSet, Runner};
+use simcore::SimDuration;
+
+fn quick_params(ops: &[&str]) -> BenchParams {
+    BenchParams {
+        operations: ops.iter().map(|s| s.to_string()).collect(),
+        problem_size: 300,
+        duration: SimDuration::from_secs(2),
+        label: "integration".into(),
+        ..BenchParams::default()
+    }
+}
+
+#[test]
+fn full_simulated_campaign_with_artifacts() {
+    let params = quick_params(&["MakeFiles", "StatNocacheFiles"]);
+    let placement = Placement::discover(&MpiWorld::uniform(3, 2));
+    let campaign = Runner::new(params).run_simulated(
+        &placement,
+        || Box::new(NfsFs::with_defaults()),
+        &SimConfig::default(),
+    );
+    assert_eq!(campaign.results.len(), 10, "5 combos × 2 operations");
+
+    // every result round-trips through the TSV format losslessly enough to
+    // reproduce the preprocessed summary
+    for r in &campaign.results {
+        let tsv = r.result_set.to_tsv();
+        let parsed = ResultSet::from_tsv(&tsv, &r.result_set.fs_name, r.nodes, r.ppn)
+            .expect("own TSV parses");
+        assert_eq!(parsed.total_ops(), r.result_set.total_ops());
+        let re_pre = preprocess(&parsed, &[]);
+        let orig_intervals: Vec<u64> = r.pre.intervals.iter().map(|x| x.total_done).collect();
+        let re_intervals: Vec<u64> = re_pre.intervals.iter().map(|x| x.total_done).collect();
+        assert_eq!(orig_intervals, re_intervals, "{}", r.operation);
+    }
+
+    // write out + verify directory contents
+    let dir = std::env::temp_dir().join(format!("dmb-e2e-{}", std::process::id()));
+    campaign.write_to_dir(&dir).expect("temp dir writable");
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .expect("dir exists")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(entries.contains(&"summary.tsv".to_owned()));
+    assert!(entries.contains(&"profile.json".to_owned()));
+    assert!(entries.iter().any(|e| e.starts_with("results-MakeFiles")));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    // charts render from any result
+    let r = &campaign.results[0];
+    let svg = chart::svg_time_chart(&r.pre);
+    assert!(svg.contains("</svg>"));
+}
+
+#[test]
+fn real_mode_end_to_end_on_tempdir() {
+    let target = std::env::temp_dir().join(format!("dmb-real-e2e-{}", std::process::id()));
+    let mut params = quick_params(&["MakeFiles", "DeleteFiles", "StatFiles"]);
+    params.duration = SimDuration::from_millis(400);
+    let t = target.clone();
+    let campaign = Runner::new(params).run_real(
+        move |_| Box::new(memfs::StdFs::new(&t).expect("temp dir")),
+        2,
+        &ThreadRunConfig::default(),
+    );
+    assert_eq!(campaign.results.len(), 6, "2 ppn × 3 operations");
+    for r in &campaign.results {
+        assert!(
+            r.result_set.total_ops() > 0,
+            "{} at ppn {} did no work",
+            r.operation,
+            r.ppn
+        );
+        let errors: u64 = r.result_set.processes.iter().map(|p| p.errors).sum();
+        assert_eq!(errors, 0, "{} at ppn {} had errors", r.operation, r.ppn);
+    }
+    // fixed-size DeleteFiles must delete exactly problem_size per process
+    for ppn in [1usize, 2] {
+        let del = campaign.find("DeleteFiles", 1, ppn).expect("ran");
+        assert_eq!(del.result_set.total_ops(), 300 * ppn as u64);
+    }
+    std::fs::remove_dir_all(&target).ok();
+}
+
+#[test]
+fn simulated_campaign_is_deterministic() {
+    let run = || {
+        let params = quick_params(&["MakeFiles"]);
+        let placement = Placement::discover(&MpiWorld::uniform(2, 2));
+        Runner::new(params).run_simulated(
+            &placement,
+            || Box::new(LustreFs::with_defaults()),
+            &SimConfig::default(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results.len(), b.results.len());
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.result_set.total_ops(), rb.result_set.total_ops());
+        assert_eq!(ra.pre.stonewall_avg, rb.pre.stonewall_avg);
+        assert_eq!(ra.result_set.processes, rb.result_set.processes);
+    }
+}
+
+#[test]
+fn stonewall_never_below_wallclock_for_uniform_runs() {
+    // With duration-bounded identical workers, stonewall ≥ wall-clock
+    // average (stonewalling cuts the tail where stragglers run alone).
+    let params = quick_params(&["MakeFiles"]);
+    let placement = Placement::discover(&MpiWorld::uniform(4, 2));
+    let campaign = Runner::new(params).run_simulated(
+        &placement,
+        || Box::new(NfsFs::with_defaults()),
+        &SimConfig::default(),
+    );
+    for r in &campaign.results {
+        assert!(
+            r.pre.stonewall_avg >= r.pre.wallclock_avg * 0.95,
+            "{}x{}: stonewall {} < wallclock {}",
+            r.nodes,
+            r.ppn,
+            r.pre.stonewall_avg,
+            r.pre.wallclock_avg
+        );
+    }
+}
+
+#[test]
+fn all_plugins_run_on_all_models() {
+    use dmetabench::all_plugin_names;
+    let factories: Vec<(&str, fn() -> Box<dyn DistFs>)> = vec![
+        ("nfs", || Box::new(NfsFs::with_defaults())),
+        ("lustre", || Box::new(LustreFs::with_defaults())),
+        ("cxfs", || Box::new(dfs::CxfsFs::with_defaults())),
+        ("localfs", || Box::new(dfs::LocalFs::with_defaults())),
+    ];
+    for (fs_name, factory) in factories {
+        for op in all_plugin_names() {
+            let mut params = quick_params(&[op]);
+            params.problem_size = 50;
+            params.duration = SimDuration::from_millis(500);
+            let mut model = factory();
+            let (rs, pre) =
+                dmetabench::run_single(&params, op, 2, 1, &mut model, &SimConfig::default());
+            assert!(
+                rs.total_ops() > 0,
+                "{op} on {fs_name} completed no operations"
+            );
+            assert!(pre.stonewall_avg > 0.0, "{op} on {fs_name}");
+            let errors: u64 = rs.processes.iter().map(|p| p.errors).sum();
+            assert_eq!(errors, 0, "{op} on {fs_name} had {errors} errors");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests over the whole result pipeline: invariants that
+//! must hold for *any* well-formed benchmark trace, not just the ones our
+//! engines produce.
+
+use proptest::prelude::*;
+
+use dmetabench::{align_to_grid, preprocess, ProcessTrace, ResultSet};
+
+/// Strategy: a monotone progress trace on a 0.1 s grid, optionally with an
+/// off-grid completion sample.
+fn trace(process_no: usize) -> impl Strategy<Value = ProcessTrace> {
+    (
+        prop::collection::vec(0u64..200, 1..40),
+        0u64..99,
+    )
+        .prop_map(move |(deltas, completion_offset_ms)| {
+            let mut samples = Vec::new();
+            let mut total = 0;
+            for (k, d) in deltas.iter().enumerate() {
+                total += d;
+                samples.push(((k as f64 + 1.0) * 0.1, total));
+            }
+            // off-grid completion sample
+            let t_done = samples.last().map(|&(t, _)| t).unwrap_or(0.1)
+                + completion_offset_ms as f64 / 1000.0;
+            samples.push((t_done, total));
+            ProcessTrace {
+                hostname: format!("host{}", process_no % 3),
+                process_no,
+                samples,
+                finished_at: Some(t_done),
+                ops_done: total,
+                errors: 0,
+            }
+        })
+}
+
+fn result_set() -> impl Strategy<Value = ResultSet> {
+    prop::collection::vec(Just(()), 1..6).prop_flat_map(|procs| {
+        let n = procs.len();
+        let traces: Vec<_> = (0..n).map(trace).collect();
+        traces.prop_map(move |processes| ResultSet {
+            operation: "PropOp".into(),
+            fs_name: "prop-fs".into(),
+            nodes: 1,
+            ppn: n,
+            interval_s: 0.1,
+            processes: processes
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut p)| {
+                    p.process_no = i;
+                    p
+                })
+                .collect(),
+        })
+    })
+}
+
+proptest! {
+    /// Per-interval totals are non-decreasing, end at the true total, and
+    /// the per-interval deltas sum back to the total (conservation).
+    #[test]
+    fn interval_accounting_conserves_operations(rs in result_set()) {
+        let pre = preprocess(&rs, &[]);
+        let mut prev = 0u64;
+        for row in &pre.intervals {
+            prop_assert!(row.total_done >= prev, "totals decrease");
+            prev = row.total_done;
+        }
+        let grid_total = pre.intervals.last().map(|r| r.total_done).unwrap_or(0);
+        // the off-grid completion tail may carry at most the ops completed
+        // after the last full interval
+        prop_assert!(grid_total <= rs.total_ops());
+        // throughput * interval sums to the grid total minus the first
+        // interval (whose throughput the paper's format reports as 0
+        // because it has no predecessor row)
+        let first = pre.intervals.first().map(|r| r.total_done).unwrap_or(0);
+        let sum: f64 = pre.intervals.iter().map(|r| r.throughput * 0.1).sum();
+        let expect = grid_total.saturating_sub(first) as f64;
+        prop_assert!((sum - expect).abs() < 1e-6 * (1.0 + expect));
+    }
+
+    /// COV is zero whenever all processes progress identically, and is
+    /// never negative or NaN.
+    #[test]
+    fn cov_well_defined(rs in result_set()) {
+        let pre = preprocess(&rs, &[]);
+        for row in &pre.intervals {
+            prop_assert!(row.cov.is_finite());
+            prop_assert!(row.cov >= 0.0);
+            prop_assert!(row.stddev >= 0.0);
+        }
+    }
+
+    /// Stonewall average uses only data up to the first completion, so it
+    /// can never exceed the theoretical peak (#procs × max per-proc rate)
+    /// and is non-negative.
+    #[test]
+    fn stonewall_bounded(rs in result_set()) {
+        let pre = preprocess(&rs, &[]);
+        prop_assert!(pre.stonewall_avg >= 0.0);
+        prop_assert!(pre.stonewall_avg.is_finite());
+        // upper bound: everything finished instantly at the first sample
+        let max_rate = rs.total_ops() as f64 / 0.05;
+        prop_assert!(pre.stonewall_avg <= max_rate + 1.0);
+    }
+
+    /// TSV round-trip preserves every sample and the preprocessed interval
+    /// table exactly.
+    #[test]
+    fn tsv_roundtrip_preserves_preprocessing(rs in result_set()) {
+        let tsv = rs.to_tsv();
+        let parsed = ResultSet::from_tsv(&tsv, &rs.fs_name, rs.nodes, rs.ppn).unwrap();
+        prop_assert_eq!(parsed.total_ops(), rs.total_ops());
+        prop_assert_eq!(parsed.processes.len(), rs.processes.len());
+        let a = preprocess(&rs, &[100]);
+        let b = preprocess(&parsed, &[100]);
+        let ta: Vec<u64> = a.intervals.iter().map(|r| r.total_done).collect();
+        let tb: Vec<u64> = b.intervals.iter().map(|r| r.total_done).collect();
+        prop_assert_eq!(ta, tb);
+        prop_assert!((a.stonewall_avg - b.stonewall_avg).abs() < 1e-3 * (1.0 + a.stonewall_avg));
+    }
+
+    /// Grid alignment: counts carry forward and never exceed the process's
+    /// final total.
+    #[test]
+    fn grid_alignment_is_monotone(rs in result_set()) {
+        let (grid, counts) = align_to_grid(&rs);
+        prop_assert_eq!(counts.len(), rs.processes.len());
+        for (p, row) in rs.processes.iter().zip(&counts) {
+            prop_assert_eq!(row.len(), grid.len());
+            let mut prev = 0;
+            for &c in row {
+                prop_assert!(c >= prev);
+                prop_assert!(c <= p.ops_done);
+                prev = c;
+            }
+        }
+    }
+
+    /// Fixed-N averages: reached targets give a positive rate; targets
+    /// beyond the total give exactly 0 (the paper prints 0 for 25 000 in
+    /// listing 3.5).
+    #[test]
+    fn fixed_n_semantics(rs in result_set(), n in 1u64..100_000) {
+        let pre = preprocess(&rs, &[n]);
+        let (target, avg) = pre.fixed_n_avgs[0];
+        prop_assert_eq!(target, n);
+        let grid_total = pre.intervals.last().map(|r| r.total_done).unwrap_or(0);
+        if n <= grid_total {
+            prop_assert!(avg > 0.0);
+        } else {
+            prop_assert_eq!(avg, 0.0);
+        }
+    }
+}
