@@ -22,20 +22,20 @@ fn populated_index(kind: DirIndexKind, n: u64) -> Box<dyn memfs::DirIndex> {
 
 fn bench_dir_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("dir_lookup");
-    for kind in [DirIndexKind::Linear, DirIndexKind::Hashed, DirIndexKind::BTree] {
+    for kind in [
+        DirIndexKind::Linear,
+        DirIndexKind::Hashed,
+        DirIndexKind::BTree,
+    ] {
         for n in [100u64, 10_000] {
             let d = populated_index(kind, n);
-            g.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), n),
-                &n,
-                |b, &n| {
-                    let mut i = 0u64;
-                    b.iter(|| {
-                        i = (i + 7919) % n;
-                        black_box(d.lookup(&format!("f{i:08}")))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), n), &n, |b, &n| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 7919) % n;
+                    black_box(d.lookup(&format!("f{i:08}")))
+                })
+            });
         }
     }
     g.finish();
@@ -43,7 +43,11 @@ fn bench_dir_lookup(c: &mut Criterion) {
 
 fn bench_dir_insert(c: &mut Criterion) {
     let mut g = c.benchmark_group("dir_insert_into_10k");
-    for kind in [DirIndexKind::Linear, DirIndexKind::Hashed, DirIndexKind::BTree] {
+    for kind in [
+        DirIndexKind::Linear,
+        DirIndexKind::Hashed,
+        DirIndexKind::BTree,
+    ] {
         g.bench_function(format!("{kind:?}"), |b| {
             b.iter_batched(
                 || populated_index(kind, 10_000),

@@ -1,12 +1,14 @@
 //! Criterion benchmarks of the simulation engine itself: how fast virtual
 //! benchmark seconds execute, across the file-system models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
 use simcore::SimDuration;
 
-fn models() -> Vec<(&'static str, fn() -> Box<dyn DistFs>)> {
+type ModelFactory = fn() -> Box<dyn DistFs>;
+
+fn models() -> Vec<(&'static str, ModelFactory)> {
     vec![
         ("localfs", || Box::new(LocalFs::with_defaults())),
         ("nfs", || Box::new(NfsFs::with_defaults())),

@@ -1,83 +1,9 @@
-//! ABLATION — attribute-cache TTL (the `acregmin` knob behind NFS
-//! close-to-open semantics, paper §2.6.1 / §5.2.1).
+//! Ablation — NFS attribute-cache TTL on a create+stat workload.
 //!
-//! A create+stat application workload (each file is created once and stated
-//! four times, like a build system probing its outputs) under attribute
-//! cache TTLs from 0 (no caching — PVFS-like) to 30 s. Expected shape:
-//! throughput grows steeply from TTL 0 to a TTL that covers the re-stat
-//! distance, then saturates — revalidation traffic is the cost of freshness
-//! (§2.6.3 "Visibility of changes").
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
-use dfs::{MetaOp, NfsConfig, NfsFs};
-use simcore::SimDuration;
-
-fn throughput_with_ttl(ttl_ms: u64) -> f64 {
-    let mut cfg = NfsConfig::default();
-    cfg.attr_ttl = SimDuration::from_millis(ttl_ms);
-    let mut model = NfsFs::new(cfg);
-    let workers = vec![WorkerSpec::new(0, 0), WorkerSpec::new(0, 1)];
-    let streams: Vec<Box<dyn OpStream>> = workers
-        .iter()
-        .map(|w| {
-            let dir = format!("/bench/p{}", w.proc);
-            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
-                let file = i / 5;
-                if i % 5 == 0 {
-                    Some(MetaOp::Create {
-                        path: format!("{dir}/f{file}"),
-                        data_bytes: 0,
-                    })
-                } else {
-                    Some(MetaOp::Stat {
-                        path: format!("{dir}/f{file}"),
-                    })
-                }
-            });
-            s
-        })
-        .collect();
-    let mut sim = SimConfig::default();
-    sim.duration = Some(SimDuration::from_secs(20));
-    let res = run_sim(
-        &mut model,
-        &bench::node_names(1),
-        workers,
-        streams,
-        &sim,
-    );
-    res.stonewall_ops_per_sec()
-}
+//! Thin wrapper over the registered scenario `abl_attr_cache`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let ttls_ms = [0u64, 10, 100, 1_000, 3_000, 30_000];
-    let mut t = ExpTable::new(
-        "Ablation — NFS attribute-cache TTL on a create+4×stat workload",
-        &["attr TTL [ms]", "ops/s", "vs no cache"],
-    );
-    let mut rates = Vec::new();
-    for &ttl in &ttls_ms {
-        let r = throughput_with_ttl(ttl);
-        rates.push(r);
-        t.row(vec![
-            ttl.to_string(),
-            fmt_ops(r),
-            bench::fmt_x(r / rates[0]),
-        ]);
-    }
-    t.print();
-
-    assert!(
-        rates[3] > rates[0] * 2.5,
-        "a 1 s TTL already converts most stats into cache hits: {} vs {}",
-        rates[3],
-        rates[0]
-    );
-    let saturation = rates[5] / rates[4];
-    assert!(
-        saturation < 1.15,
-        "beyond the re-stat distance longer TTLs stop helping: {saturation:.2}"
-    );
-    println!("\nABLATION OK: caching pays until the TTL covers the re-access distance, then flattens.");
+    dmetabench::suite::run_scenario_main("abl_attr_cache");
 }

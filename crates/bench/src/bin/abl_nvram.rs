@@ -1,70 +1,9 @@
-//! ABLATION — NVRAM on the file server (paper §2.6.4 / §3.1.4 footnote:
-//! "Network Appliance sells NFS server appliances using a non-volatile
-//! memory cache that reduces latency for NFS writes").
+//! Ablation — server NVRAM vs synchronous disk journal.
 //!
-//! NFSv3 requires metadata mutations to be persistent before the reply.
-//! With NVRAM the commit is a memory write (cheap); without it every create
-//! pays a disk-journal write inside its service time. Expected shape: the
-//! no-NVRAM filer loses both per-op latency and saturation throughput, and
-//! the gap grows with client count because the journal serializes.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::SimConfig;
-use dfs::{NfsConfig, NfsFs, ServiceCostModel};
-use simcore::SimDuration;
-
-fn filer(nvram: bool) -> NfsFs {
-    let mut cfg = NfsConfig::default();
-    if !nvram {
-        cfg.cost = ServiceCostModel {
-            // commit straight to the journal disk: ~1 ms extra per mutation
-            base: cfg.cost.base + SimDuration::from_micros(1_000),
-            ..cfg.cost
-        };
-        // and the on-disk journal admits fewer concurrent writers
-        cfg.server_parallelism = 2;
-    }
-    NfsFs::new(cfg)
-}
-
-fn throughput(nvram: bool, nodes: usize) -> f64 {
-    let mut model = filer(nvram);
-    let mut sim = SimConfig::default();
-    sim.duration = Some(SimDuration::from_secs(20));
-    let res = bench::run_makefiles(&mut model, nodes, 1, &sim);
-    res.stonewall_ops_per_sec()
-}
+//! Thin wrapper over the registered scenario `abl_nvram`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let nodes_list = [1usize, 4, 8, 16];
-    let mut t = ExpTable::new(
-        "Ablation — file creation with and without server NVRAM [ops/s]",
-        &["nodes", "NVRAM filer", "disk-journal filer", "NVRAM advantage"],
-    );
-    let mut gaps = Vec::new();
-    for &n in &nodes_list {
-        let with = throughput(true, n);
-        let without = throughput(false, n);
-        gaps.push(with / without);
-        t.row(vec![
-            n.to_string(),
-            fmt_ops(with),
-            fmt_ops(without),
-            bench::fmt_x(with / without),
-        ]);
-    }
-    t.print();
-
-    assert!(
-        gaps[0] > 1.5,
-        "even one client feels the synchronous journal: {:.2}x",
-        gaps[0]
-    );
-    assert!(
-        gaps[3] > gaps[0],
-        "the gap widens once clients queue on the journal: {:.2}x → {:.2}x",
-        gaps[0],
-        gaps[3]
-    );
-    println!("\nABLATION OK: NVRAM is what makes synchronous NFS metadata fast (paper §2.6.4).");
+    dmetabench::suite::run_scenario_main("abl_nvram");
 }

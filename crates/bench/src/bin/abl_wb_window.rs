@@ -1,96 +1,9 @@
-//! ABLATION — Lustre metadata write-back window size (paper §4.8 / §2.6.4).
+//! Ablation — Lustre write-back window size vs burst length.
 //!
-//! The window bounds how many uncommitted operations a client may hold.
-//! With a slow commit pipeline, a tiny window couples every operation to
-//! the commit disk (RPC rate ≈ commit rate), while a large window lets the
-//! client run at RPC speed for longer bursts before throttling to the same
-//! steady state. Expected shape: burst length grows with the window; the
-//! steady state is window-independent (it is the commit rate).
-
-use bench::{fmt_ops, ExpTable};
-use cluster::SimConfig;
-use dfs::{LustreConfig, LustreFs};
-use dmetabench::{preprocess, Preprocessed, ResultSet};
-use simcore::SimDuration;
-
-fn run(window: usize) -> Preprocessed {
-    let mut cfg = LustreConfig::default();
-    cfg.writeback_window = window;
-    cfg.commit_demand = SimDuration::from_millis(3); // slow journal disk
-    let mut model = LustreFs::new(cfg);
-    let mut sim = SimConfig::default();
-    sim.duration = Some(SimDuration::from_secs(30));
-    let res = bench::run_makefiles(&mut model, 1, 1, &sim);
-    let rs = ResultSet::from_run("MakeFiles", 1, 1, &res);
-    preprocess(&rs, &[])
-}
-
-fn phase(pre: &Preprocessed, from: f64, to: f64) -> f64 {
-    let rows: Vec<_> = pre
-        .intervals
-        .iter()
-        .filter(|r| r.timestamp > from && r.timestamp <= to)
-        .collect();
-    rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64
-}
-
-/// First instant where throughput falls below 60 % of the initial burst —
-/// the end of the write-back burst. A window so small that the run starts
-/// already throttled has no burst at all (length 0).
-fn burst_end(pre: &Preprocessed) -> f64 {
-    let burst = phase(pre, 0.0, 0.5);
-    let steady = phase(pre, 20.0, 30.0);
-    if burst < steady * 1.2 {
-        return 0.0; // never ran faster than the commit rate
-    }
-    pre.intervals
-        .iter()
-        .skip(5)
-        .find(|r| r.throughput < burst * 0.6)
-        .map(|r| r.timestamp)
-        .unwrap_or(f64::INFINITY)
-}
+//! Thin wrapper over the registered scenario `abl_wb_window`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let windows = [16usize, 256, 1_024, 8_192];
-    let mut t = ExpTable::new(
-        "Ablation — Lustre write-back window under a 3 ms/op commit pipeline",
-        &[
-            "window [ops]",
-            "burst ends at [s]",
-            "steady ops/s (20-30 s)",
-        ],
-    );
-    let mut ends = Vec::new();
-    let mut steadies = Vec::new();
-    for &w in &windows {
-        let pre = run(w);
-        let end = burst_end(&pre);
-        let steady = phase(&pre, 20.0, 30.0);
-        ends.push(end);
-        steadies.push(steady);
-        t.row(vec![
-            w.to_string(),
-            if end.is_finite() {
-                format!("{end:.1}")
-            } else {
-                "never".into()
-            },
-            fmt_ops(steady),
-        ]);
-    }
-    t.print();
-
-    assert!(
-        ends[0] <= ends[1] && ends[1] < ends[2] && ends[2] < ends[3],
-        "bigger windows sustain the burst longer: {ends:?}"
-    );
-    let commit_rate = 1.0e6 / 3_000.0;
-    for (w, s) in windows.iter().zip(&steadies) {
-        assert!(
-            (s - commit_rate).abs() / commit_rate < 0.2,
-            "window {w}: steady state is the commit rate regardless of window ({s} vs {commit_rate})"
-        );
-    }
-    println!("\nABLATION OK: the window buys burst length, never steady-state throughput (paper §4.8).");
+    dmetabench::suite::run_scenario_main("abl_wb_window");
 }

@@ -1,94 +1,9 @@
-//! EXP-4.3.4 — Observing internal allocation processes (paper §4.3.4).
+//! §4.3 — block allocation at the 64/65-byte inline boundary.
 //!
-//! The WAFL-specific MakeFiles64byte / MakeFiles65byte probes: 64-byte files
-//! fit inline in the inode (no block allocation), 65-byte files force a
-//! block per file. Shapes to reproduce:
-//!
-//! * 64-byte creates run close to empty-file creates,
-//! * 65-byte creates are measurably slower (allocator work per create),
-//!   and the server's block counter grows by exactly one block per file,
-//! * the extra dirty data makes consistency points heavier.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::SimConfig;
-use dfs::NfsFs;
-use dmetabench::{preprocess, ResultSet};
-use simcore::SimDuration;
-
-struct Outcome {
-    ops_per_sec: f64,
-    files: u64,
-    blocks_used: u64,
-    consistency_points: u64,
-}
-
-fn run(data_bytes: u64) -> Outcome {
-    let mut model = NfsFs::with_defaults();
-    let free_before = model.server_fs().stats().free_blocks;
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(30));
-    cfg.node_cores = 1;
-    let workers = bench::make_workers(4, 1);
-    let streams = bench::create_streams(&workers, data_bytes);
-    let res = cluster::run_sim(
-        &mut model,
-        &bench::node_names(4),
-        workers,
-        streams,
-        &cfg,
-    );
-    let rs = ResultSet::from_run("MakeFilesNbyte", 4, 1, &res);
-    let pre = preprocess(&rs, &[]);
-    Outcome {
-        ops_per_sec: pre.stonewall_avg,
-        files: res.total_ops(),
-        blocks_used: free_before - model.server_fs().stats().free_blocks,
-        consistency_points: model.consistency_points(),
-    }
-}
+//! Thin wrapper over the registered scenario `exp_4_3_alloc`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let empty = run(0);
-    let small = run(64);
-    let big = run(65);
-
-    let mut t = ExpTable::new(
-        "§4.3.4 — WAFL allocation probe: MakeFiles / MakeFiles64byte / MakeFiles65byte",
-        &[
-            "payload",
-            "ops/s",
-            "files created",
-            "blocks allocated",
-            "blocks per file",
-            "consistency points",
-        ],
-    );
-    for (label, o) in [("0 B", &empty), ("64 B", &small), ("65 B", &big)] {
-        t.row(vec![
-            label.into(),
-            fmt_ops(o.ops_per_sec),
-            o.files.to_string(),
-            o.blocks_used.to_string(),
-            format!("{:.2}", o.blocks_used as f64 / o.files.max(1) as f64),
-            o.consistency_points.to_string(),
-        ]);
-    }
-    t.print();
-
-    assert_eq!(small.blocks_used, 0, "64-byte files are stored inline");
-    assert_eq!(
-        big.blocks_used, big.files,
-        "65-byte files allocate exactly one block each"
-    );
-    assert!(
-        small.ops_per_sec > big.ops_per_sec,
-        "inline creates outrun allocating creates: {} vs {}",
-        small.ops_per_sec,
-        big.ops_per_sec
-    );
-    assert!(
-        small.ops_per_sec > empty.ops_per_sec * 0.85,
-        "64-byte creates stay close to empty creates"
-    );
-    println!("\nSHAPE OK: the 64→65 byte boundary flips inline allocation exactly as on WAFL (paper §4.3.4).");
+    dmetabench::suite::run_scenario_main("exp_4_3_alloc");
 }

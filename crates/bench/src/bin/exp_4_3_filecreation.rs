@@ -1,110 +1,9 @@
-//! EXP-4.3.2 — File creation: NFS vs. Lustre in a cluster (paper §4.3.2).
+//! §4.3 — file creation scaling over nodes for four file systems.
 //!
-//! MakeFiles (60 virtual seconds) across 1–20 nodes at 1 and 4 processes
-//! per node. Shapes to reproduce from the paper's comparison:
-//!
-//! * the NVRAM-backed NFS filer wins at low client counts (cheap commits,
-//!   lighter client stack),
-//! * NFS saturates as the filer's service slots fill; adding processes per
-//!   node keeps helping until then,
-//! * Lustre's per-node modifying-RPC serialization makes extra processes
-//!   per node useless (1 ppn ≈ 4 ppn), but it scales with *nodes* until the
-//!   MDS saturates.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::SimConfig;
-use dfs::{DistFs, LustreFs, NfsFs};
-use simcore::SimDuration;
-
-fn sweep(factory: impl Fn() -> Box<dyn DistFs>, ppn: usize, nodes_list: &[usize]) -> Vec<f64> {
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(60));
-    nodes_list
-        .iter()
-        .map(|&n| bench::makefiles_throughput(factory(), n, ppn, &cfg))
-        .collect()
-}
+//! Thin wrapper over the registered scenario `exp_4_3_filecreation`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let nodes_list = [1usize, 2, 4, 8, 12, 16, 20];
-    let nfs1 = sweep(|| Box::new(NfsFs::with_defaults()), 1, &nodes_list);
-    let nfs4 = sweep(|| Box::new(NfsFs::with_defaults()), 4, &nodes_list);
-    let lus1 = sweep(|| Box::new(LustreFs::with_defaults()), 1, &nodes_list);
-    let lus4 = sweep(|| Box::new(LustreFs::with_defaults()), 4, &nodes_list);
-
-    let mut t = ExpTable::new(
-        "§4.3.2 — MakeFiles creation throughput [ops/s], 60 s runs",
-        &["nodes", "NFS 1 ppn", "NFS 4 ppn", "Lustre 1 ppn", "Lustre 4 ppn"],
-    );
-    for (i, &n) in nodes_list.iter().enumerate() {
-        t.row(vec![
-            n.to_string(),
-            fmt_ops(nfs1[i]),
-            fmt_ops(nfs4[i]),
-            fmt_ops(lus1[i]),
-            fmt_ops(lus4[i]),
-        ]);
-    }
-    t.print();
-
-    // chart artifact
-    let series = vec![
-        dmetabench::chart::Series::new(
-            "NFS 1 ppn",
-            nodes_list.iter().zip(&nfs1).map(|(&n, &y)| (n as f64, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "NFS 4 ppn",
-            nodes_list.iter().zip(&nfs4).map(|(&n, &y)| (n as f64, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "Lustre 1 ppn",
-            nodes_list.iter().zip(&lus1).map(|(&n, &y)| (n as f64, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "Lustre 4 ppn",
-            nodes_list.iter().zip(&lus4).map(|(&n, &y)| (n as f64, y)).collect(),
-        ),
-    ];
-    println!("{}", dmetabench::chart::nodes_chart(&series));
-    bench::save_artifact(
-        "exp_4_3_filecreation.svg",
-        &dmetabench::chart::svg_chart(
-            "File creation: NFS vs Lustre",
-            "nodes",
-            "ops/s",
-            &series,
-            720,
-            480,
-        ),
-    );
-
-    // --- shape assertions ---------------------------------------------------
-    assert!(
-        nfs1[0] > lus1[0] * 1.5,
-        "NFS wins single-client creation: {} vs {}",
-        nfs1[0],
-        lus1[0]
-    );
-    assert!(
-        nfs4[1] > nfs1[1] * 2.0,
-        "extra processes per node help NFS before saturation"
-    );
-    let lus_intra = lus4[2] / lus1[2];
-    assert!(
-        lus_intra < 1.3,
-        "Lustre's modify lock makes 4 ppn ≈ 1 ppn: factor {lus_intra:.2}"
-    );
-    assert!(
-        lus1[6] > lus1[0] * 4.0,
-        "Lustre scales across nodes: {} → {}",
-        lus1[0],
-        lus1[6]
-    );
-    let nfs_sat = nfs4[6] / nfs4[3];
-    assert!(
-        nfs_sat < 1.4,
-        "NFS filer saturates by 8 nodes × 4 ppn: {nfs_sat:.2}x from 8→20 nodes"
-    );
-    println!("\nSHAPE OK: NFS wins small, saturates; Lustre flat intra-node, scales inter-node (paper §4.3.2).");
+    dmetabench::suite::run_scenario_main("exp_4_3_filecreation");
 }

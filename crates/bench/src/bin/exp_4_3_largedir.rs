@@ -1,130 +1,9 @@
-//! EXP-4.3.3 — Sequential and parallel file creation in large directories
-//! (paper §4.3.3).
+//! §4.3 — operation rates in directories of growing size.
 //!
-//! Creation throughput into one shared directory that already holds N
-//! entries, for the three generations of server-side directory indexes the
-//! thesis surveys (§2.4.2). Shapes to reproduce:
-//!
-//! * linear-list directories degrade roughly with N (the uniqueness check
-//!   scans the whole entry list, §2.6.3),
-//! * hashed and B-tree directories stay nearly flat to large N,
-//! * parallel creation into one directory helps until the server
-//!   serializes on the directory itself.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
-use dfs::{MetaOp, NfsFs, NfsConfig};
-use memfs::{DirIndexKind, Vfs};
-
-const MEASURE_OPS: u64 = 2_000;
-
-/// Create an NFS model whose server uses the given directory index and
-/// whose shared directory `/big` is pre-populated with `n` entries.
-fn prepared_model(kind: DirIndexKind, n: u64) -> NfsFs {
-    let mut cfg = NfsConfig::default();
-    cfg.fs_config.dir_index = kind;
-    let mut model = NfsFs::new(cfg);
-    let fs = model.server_fs_mut();
-    fs.mkdir("/big").expect("fresh fs");
-    for i in 0..n {
-        let fd = fs.create(&format!("/big/old{i}")).expect("unique");
-        fs.close(fd).expect("open");
-    }
-    fs.take_cost(); // preparation work is not part of the measurement
-    model
-}
-
-fn creation_rate(kind: DirIndexKind, n: u64, nodes: usize, ppn: usize) -> f64 {
-    let mut model = prepared_model(kind, n);
-    let workers: Vec<WorkerSpec> = bench::make_workers(nodes, ppn);
-    let quota = MEASURE_OPS / workers.len() as u64;
-    let streams: Vec<Box<dyn OpStream>> = workers
-        .iter()
-        .map(|w| {
-            let tag = format!("n{}p{}", w.node, w.proc);
-            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
-                if i < quota {
-                    Some(MetaOp::Create {
-                        path: format!("/big/{tag}_new{i}"),
-                        data_bytes: 0,
-                    })
-                } else {
-                    None
-                }
-            });
-            s
-        })
-        .collect();
-    let res = run_sim(
-        &mut model,
-        &bench::node_names(nodes),
-        workers,
-        streams,
-        &SimConfig::default(),
-    );
-    res.stonewall_ops_per_sec()
-}
+//! Thin wrapper over the registered scenario `exp_4_3_largedir`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // Linear directories are O(N) per lookup, so pre-population itself is
-    // O(N²); cap their sizes, as any real benchmark would have to.
-    let linear_sizes: [u64; 3] = [1_000, 10_000, 30_000];
-    let indexed_sizes: [u64; 5] = [1_000, 10_000, 30_000, 100_000, 300_000];
-
-    let mut t = ExpTable::new(
-        "§4.3.3 — sequential creation into a directory of N entries [ops/s]",
-        &["N entries", "linear list", "hashed (WAFL)", "B-tree (XFS)"],
-    );
-    let mut linear_rates = Vec::new();
-    let mut hashed_rates = Vec::new();
-    for &n in &indexed_sizes {
-        let lin = if linear_sizes.contains(&n) {
-            let r = creation_rate(DirIndexKind::Linear, n, 1, 1);
-            linear_rates.push((n, r));
-            fmt_ops(r)
-        } else {
-            "(too slow)".to_owned()
-        };
-        let hash = creation_rate(DirIndexKind::Hashed, n, 1, 1);
-        hashed_rates.push((n, hash));
-        let btree = creation_rate(DirIndexKind::BTree, n, 1, 1);
-        t.row(vec![n.to_string(), lin, fmt_ops(hash), fmt_ops(btree)]);
-    }
-    t.print();
-
-    let mut t2 = ExpTable::new(
-        "§4.3.3 — parallel creation into ONE directory of 100 000 entries (hashed)",
-        &["configuration", "ops/s", "speedup vs sequential"],
-    );
-    let seq = creation_rate(DirIndexKind::Hashed, 100_000, 1, 1);
-    let par4 = creation_rate(DirIndexKind::Hashed, 100_000, 4, 1);
-    let par8 = creation_rate(DirIndexKind::Hashed, 100_000, 4, 2);
-    t2.row(vec!["1 node × 1 proc".into(), fmt_ops(seq), "1.00x".into()]);
-    t2.row(vec![
-        "4 nodes × 1 proc".into(),
-        fmt_ops(par4),
-        bench::fmt_x(par4 / seq),
-    ]);
-    t2.row(vec![
-        "4 nodes × 2 procs".into(),
-        fmt_ops(par8),
-        bench::fmt_x(par8 / seq),
-    ]);
-    t2.print();
-
-    // --- shape assertions ----------------------------------------------------
-    let lin_small = linear_rates[0].1;
-    let lin_big = linear_rates[2].1;
-    assert!(
-        lin_big < lin_small * 0.5,
-        "linear directories degrade with size: {lin_small} → {lin_big}"
-    );
-    let hash_small = hashed_rates[0].1;
-    let hash_big = hashed_rates.last().map(|&(_, r)| r).expect("non-empty");
-    assert!(
-        hash_big > hash_small * 0.8,
-        "hashed directories stay nearly flat: {hash_small} → {hash_big}"
-    );
-    assert!(par4 > seq * 2.0, "parallel creation into one dir still scales");
-    println!("\nSHAPE OK: linear degrades with N, hashed/B-tree stay flat, parallel creation scales (paper §4.3.3).");
+    dmetabench::suite::run_scenario_main("exp_4_3_largedir");
 }

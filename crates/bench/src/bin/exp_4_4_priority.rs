@@ -1,156 +1,9 @@
-//! EXP-4.4 — Priority scheduling and metadata performance (paper §4.4).
+//! §4.4 — CPU scheduling priorities vs metadata throughput.
 //!
-//! Benchmark processes with different CPU scheduling priorities (`nice`
-//! weights) compete on one node. Shapes to reproduce:
-//!
-//! * when the operation is CPU-cheap and network-bound (plain NFS
-//!   metadata), priorities barely matter — the processes spend their time
-//!   waiting on RPCs, not the CPU;
-//! * when CPU is contended (a compute-loaded node, as on the LRZ serial
-//!   pool), higher-priority processes complete metadata work measurably
-//!   faster, and a CPU hog degrades a low-priority benchmark much more
-//!   than a high-priority one.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{run_sim, Disturbance, OpStream, SimConfig, WorkerSpec};
-use dfs::{DistFs, MetaOp, NfsFs};
-use simcore::SimTime;
-
-fn fixed_create_streams(workers: &[WorkerSpec], count: u64) -> Vec<Box<dyn OpStream>> {
-    workers
-        .iter()
-        .map(|w| {
-            let dir = format!("/bench/n{}p{}", w.node, w.proc);
-            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
-                if i < count {
-                    Some(MetaOp::Create {
-                        path: format!("{dir}/f{i}"),
-                        data_bytes: 0,
-                    })
-                } else {
-                    None
-                }
-            });
-            s
-        })
-        .collect()
-}
-
-/// Run 4 workers with given weights on one single-core node; return each
-/// worker's completion time in seconds.
-fn run_with_weights(weights: [f64; 4], hog: bool) -> Vec<f64> {
-    let mut model: Box<dyn DistFs> = Box::new(NfsFs::with_defaults());
-    let workers: Vec<WorkerSpec> = weights
-        .iter()
-        .enumerate()
-        .map(|(p, &w)| WorkerSpec {
-            node: 0,
-            proc: p,
-            cpu_weight: w,
-        })
-        .collect();
-    let streams = fixed_create_streams(&workers, 5_000);
-    let mut cfg = SimConfig::default();
-    cfg.node_cores = 1;
-    if hog {
-        cfg.disturbances.push(Disturbance::CpuHog {
-            node: 0,
-            start: SimTime::ZERO,
-            end: SimTime::from_secs(3_600),
-            weight: 4.0,
-        });
-    }
-    let res = run_sim(
-        model.as_mut(),
-        &bench::node_names(1),
-        workers,
-        streams,
-        &cfg,
-    );
-    res.workers
-        .iter()
-        .map(|w| w.finished_at.expect("fixed run completes").as_secs_f64())
-        .collect()
-}
+//! Thin wrapper over the registered scenario `exp_4_4_priority`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // equal priorities, idle node: everyone finishes together
-    let equal = run_with_weights([1.0, 1.0, 1.0, 1.0], false);
-    // nice spread on an idle node: network-bound, so little difference
-    let spread_idle = run_with_weights([4.0, 1.0, 1.0, 0.25], false);
-    // nice spread on a compute-loaded node: CPU becomes contended
-    let spread_hog = run_with_weights([4.0, 1.0, 1.0, 0.25], true);
-
-    let mut t = ExpTable::new(
-        "§4.4 — 4 creating processes on one node, 5 000 creates each: completion time [s]",
-        &[
-            "scenario",
-            "prio +4 (p0)",
-            "normal (p1)",
-            "normal (p2)",
-            "nice -0.25 (p3)",
-        ],
-    );
-    let fmt = |v: &[f64]| v.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>();
-    let e = fmt(&equal);
-    t.row(vec![
-        "equal priorities, idle node".into(),
-        e[0].clone(),
-        e[1].clone(),
-        e[2].clone(),
-        e[3].clone(),
-    ]);
-    let s = fmt(&spread_idle);
-    t.row(vec![
-        "priority spread, idle node".into(),
-        s[0].clone(),
-        s[1].clone(),
-        s[2].clone(),
-        s[3].clone(),
-    ]);
-    let h = fmt(&spread_hog);
-    t.row(vec![
-        "priority spread, CPU-loaded node".into(),
-        h[0].clone(),
-        h[1].clone(),
-        h[2].clone(),
-        h[3].clone(),
-    ]);
-    t.print();
-
-    let mut t2 = ExpTable::new(
-        "§4.4 — effective throughput of the prioritized vs niced process",
-        &["scenario", "high-prio ops/s", "low-prio ops/s", "ratio"],
-    );
-    for (label, v) in [("idle node", &spread_idle), ("loaded node", &spread_hog)] {
-        t2.row(vec![
-            label.into(),
-            fmt_ops(5_000.0 / v[0]),
-            fmt_ops(5_000.0 / v[3]),
-            bench::fmt_x(v[3] / v[0]),
-        ]);
-    }
-    t2.print();
-
-    // --- shape assertions ---------------------------------------------------
-    let equal_spread = equal
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b))
-        / equal.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-    assert!(equal_spread < 1.05, "equal priorities finish together");
-    let idle_ratio = spread_idle[3] / spread_idle[0];
-    let hog_ratio = spread_hog[3] / spread_hog[0];
-    assert!(
-        idle_ratio < 1.6,
-        "network-bound run is barely priority-sensitive: {idle_ratio:.2}"
-    );
-    assert!(
-        hog_ratio > idle_ratio * 1.2,
-        "CPU contention amplifies the priority effect: {idle_ratio:.2} → {hog_ratio:.2}"
-    );
-    assert!(
-        spread_hog[0] < spread_hog[3],
-        "the prioritized process finishes first under load"
-    );
-    println!("\nSHAPE OK: priorities irrelevant while network-bound, decisive under CPU contention (paper §4.4).");
+    dmetabench::suite::run_scenario_main("exp_4_4_priority");
 }

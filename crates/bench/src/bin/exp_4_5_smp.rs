@@ -1,117 +1,9 @@
-//! EXP-4.5 — Intra-node scalability on SMP systems (paper §4.5).
+//! §4.5 — intra-node scalability on SMP systems.
 //!
-//! File creation with 1–32 processes on a single (large-)SMP node,
-//! comparing the local file system, NFS and CXFS. Shapes to reproduce from
-//! the paper's small-SMP and HLRB 2 measurements (§4.5.2–4.5.3):
-//!
-//! * the local file system scales with processes until kernel-side
-//!   parallelism runs out,
-//! * NFS scales intra-node too — the client issues concurrent RPCs and the
-//!   filer has parallel service slots,
-//! * CXFS stays flat: the client's token manager serializes all metadata
-//!   traffic of the OS instance, so 32 processes ≈ 1 process.
-
-use bench::{fmt_ops, fmt_x, ExpTable};
-use cluster::SimConfig;
-use dfs::{CxfsFs, DistFs, LocalFs, NfsFs, PvfsFs};
-use simcore::SimDuration;
-
-fn sweep(factory: impl Fn() -> Box<dyn DistFs>, ppns: &[usize]) -> Vec<f64> {
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(1));
-    cfg.node_cores = 64; // a large SMP partition
-    ppns.iter()
-        .map(|&p| bench::makefiles_throughput(factory(), 1, p, &cfg))
-        .collect()
-}
+//! Thin wrapper over the registered scenario `exp_4_5_smp`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let ppns = [1usize, 2, 4, 8, 16, 32];
-    let local = sweep(|| Box::new(LocalFs::with_defaults()), &ppns);
-    let nfs = sweep(|| Box::new(NfsFs::with_defaults()), &ppns);
-    let cxfs = sweep(|| Box::new(CxfsFs::with_defaults()), &ppns);
-    let pvfs = sweep(|| Box::new(PvfsFs::with_defaults()), &ppns);
-
-    let mut t = ExpTable::new(
-        "§4.5 — file creation on one SMP node [ops/s]",
-        &["processes", "local fs", "NFS", "CXFS", "PVFS2"],
-    );
-    for (i, &p) in ppns.iter().enumerate() {
-        t.row(vec![
-            p.to_string(),
-            fmt_ops(local[i]),
-            fmt_ops(nfs[i]),
-            fmt_ops(cxfs[i]),
-            fmt_ops(pvfs[i]),
-        ]);
-    }
-    t.print();
-
-    let mut t2 = ExpTable::new(
-        "§4.5 — intra-node speedup, 32 processes vs 1",
-        &["file system", "speedup"],
-    );
-    t2.row(vec!["local fs".into(), fmt_x(local[5] / local[0])]);
-    t2.row(vec!["NFS".into(), fmt_x(nfs[5] / nfs[0])]);
-    t2.row(vec!["CXFS".into(), fmt_x(cxfs[5] / cxfs[0])]);
-    t2.row(vec!["PVFS2".into(), fmt_x(pvfs[5] / pvfs[0])]);
-    t2.print();
-
-    let series = vec![
-        dmetabench::chart::Series::new(
-            "local",
-            ppns.iter().zip(&local).map(|(&p, &y)| (p as f64, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "NFS",
-            ppns.iter().zip(&nfs).map(|(&p, &y)| (p as f64, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "CXFS",
-            ppns.iter().zip(&cxfs).map(|(&p, &y)| (p as f64, y)).collect(),
-        ),
-    ];
-    println!("{}", dmetabench::chart::processes_chart(&series));
-    bench::save_artifact(
-        "exp_4_5_smp.svg",
-        &dmetabench::chart::svg_chart(
-            "Intra-node scalability on an SMP node",
-            "processes",
-            "ops/s",
-            &series,
-            720,
-            480,
-        ),
-    );
-
-    // --- shape assertions ----------------------------------------------------
-    assert!(
-        local[5] > local[0] * 2.5,
-        "local fs scales intra-node: {} → {}",
-        local[0],
-        local[5]
-    );
-    assert!(
-        nfs[3] > nfs[0] * 4.0,
-        "NFS scales intra-node until the filer saturates: {} → {}",
-        nfs[0],
-        nfs[3]
-    );
-    assert!(
-        cxfs[5] < cxfs[0] * 1.3,
-        "CXFS is flat: token manager serializes the node: {} → {}",
-        cxfs[0],
-        cxfs[5]
-    );
-    assert!(
-        nfs[5] > cxfs[5] * 4.0,
-        "on a big SMP node NFS beats CXFS for metadata (paper §4.5.3)"
-    );
-    assert!(
-        pvfs[5] > pvfs[0] * 4.0,
-        "cache-free PVFS still scales intra-node — no client lock (§2.6.1): {} → {}",
-        pvfs[0],
-        pvfs[5]
-    );
-    println!("\nSHAPE OK: NFS scales on the SMP node, CXFS stays flat (paper §4.5).");
+    dmetabench::suite::run_scenario_main("exp_4_5_smp");
 }

@@ -1,196 +1,9 @@
-//! EXP-4.6 — Influence of network latency on metadata performance
-//! (paper §4.6).
+//! §4.6 — network latency sweep from LAN to WAN.
 //!
-//! Single-client file creation while the one-way network latency sweeps
-//! from LAN (0.05 ms) to WAN (10 ms). Shapes to reproduce:
-//!
-//! * synchronous per-op RPC protocols (NFS, and Lustre's modifying RPCs)
-//!   degrade roughly as `1 / (RTT + service)` — at 10 ms one-way latency a
-//!   single client manages only ~50 creates/s no matter how fast the
-//!   server is,
-//! * cached reads (`stat` after create on the same node) are *immune* to
-//!   latency — the motivation for client caching in §2.6,
-//! * with more concurrent processes the aggregate recovers (latency
-//!   hiding), which is the thesis' "inherently parallel metadata
-//!   operations" argument (§5.3.2).
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
-use dfs::{DistFs, LustreConfig, LustreFs, MetaOp, NfsConfig, NfsFs};
-use netsim::LinkSpec;
-use simcore::SimDuration;
-
-fn nfs_with_latency(one_way_ms: f64) -> Box<dyn DistFs> {
-    let mut cfg = NfsConfig::default();
-    cfg.link = LinkSpec::wan(SimDuration::from_secs_f64(one_way_ms / 1_000.0));
-    Box::new(NfsFs::new(cfg))
-}
-
-fn lustre_with_latency(one_way_ms: f64) -> Box<dyn DistFs> {
-    let mut cfg = LustreConfig::default();
-    cfg.link = LinkSpec::wan(SimDuration::from_secs_f64(one_way_ms / 1_000.0));
-    Box::new(LustreFs::new(cfg))
-}
-
-fn create_throughput(mut model: Box<dyn DistFs>, ppn: usize) -> f64 {
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(20));
-    let res = bench::run_makefiles(model.as_mut(), 1, ppn, &cfg);
-    res.stonewall_ops_per_sec()
-}
-
-/// Per-operation latency percentiles for one setting.
-fn create_latency(mut model: Box<dyn DistFs>) -> (f64, f64, f64) {
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(10));
-    let res = bench::run_makefiles(model.as_mut(), 1, 1, &cfg);
-    let h = res.latency();
-    (
-        h.percentile(0.5).as_secs_f64() * 1e3,
-        h.percentile(0.99).as_secs_f64() * 1e3,
-        h.mean().as_secs_f64() * 1e3,
-    )
-}
-
-/// stat of files just created by the same node — answered from the client
-/// cache, so latency-independent.
-fn cached_stat_throughput(mut model: Box<dyn DistFs>) -> f64 {
-    let workers = vec![WorkerSpec::new(0, 0)];
-    // interleave create + 4 stats of the same file: the stats are cache hits
-    let streams: Vec<Box<dyn OpStream>> = vec![Box::new(move |i: u64| {
-        let file = i / 5;
-        if i % 5 == 0 {
-            Some(MetaOp::Create {
-                path: format!("/bench/p0/f{file}"),
-                data_bytes: 0,
-            })
-        } else {
-            Some(MetaOp::Stat {
-                path: format!("/bench/p0/f{file}"),
-            })
-        }
-    })];
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(20));
-    let res = run_sim(
-        model.as_mut(),
-        &bench::node_names(1),
-        workers,
-        streams,
-        &cfg,
-    );
-    res.stonewall_ops_per_sec()
-}
+//! Thin wrapper over the registered scenario `exp_4_6_latency`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let latencies_ms = [0.05f64, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0];
-    let mut t = ExpTable::new(
-        "§4.6 — single client creation throughput vs one-way network latency",
-        &[
-            "one-way latency [ms]",
-            "NFS 1 proc",
-            "NFS 8 procs",
-            "Lustre 1 proc",
-            "mixed create+stat (cached)",
-        ],
-    );
-    let mut nfs1 = Vec::new();
-    let mut nfs8 = Vec::new();
-    let mut lus1 = Vec::new();
-    let mut mixed = Vec::new();
-    for &ms in &latencies_ms {
-        let a = create_throughput(nfs_with_latency(ms), 1);
-        let b = create_throughput(nfs_with_latency(ms), 8);
-        let c = create_throughput(lustre_with_latency(ms), 1);
-        let d = cached_stat_throughput(nfs_with_latency(ms));
-        t.row(vec![
-            format!("{ms}"),
-            fmt_ops(a),
-            fmt_ops(b),
-            fmt_ops(c),
-            fmt_ops(d),
-        ]);
-        nfs1.push(a);
-        nfs8.push(b);
-        lus1.push(c);
-        mixed.push(d);
-    }
-    t.print();
-
-    let series = vec![
-        dmetabench::chart::Series::new(
-            "NFS 1 proc",
-            latencies_ms.iter().zip(&nfs1).map(|(&x, &y)| (x, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "NFS 8 procs",
-            latencies_ms.iter().zip(&nfs8).map(|(&x, &y)| (x, y)).collect(),
-        ),
-        dmetabench::chart::Series::new(
-            "Lustre 1 proc",
-            latencies_ms.iter().zip(&lus1).map(|(&x, &y)| (x, y)).collect(),
-        ),
-    ];
-    bench::save_artifact(
-        "exp_4_6_latency.svg",
-        &dmetabench::chart::svg_chart(
-            "Creation throughput vs one-way latency",
-            "one-way latency [ms]",
-            "ops/s",
-            &series,
-            720,
-            480,
-        ),
-    );
-
-    // --- per-op latency distribution ---------------------------------------
-    let mut t2 = ExpTable::new(
-        "§4.6 — per-create latency percentiles (NFS, 1 proc)",
-        &["one-way latency [ms]", "p50 [ms]", "p99 [ms]", "mean [ms]"],
-    );
-    let mut p50s = Vec::new();
-    for &ms in &[0.1f64, 1.0, 10.0] {
-        let (p50, p99, mean) = create_latency(nfs_with_latency(ms));
-        p50s.push(p50);
-        t2.row(vec![
-            format!("{ms}"),
-            format!("{p50:.2}"),
-            format!("{p99:.2}"),
-            format!("{mean:.2}"),
-        ]);
-    }
-    t2.print();
-    assert!(
-        p50s[2] > p50s[0] * 10.0,
-        "median create latency tracks the RTT: {p50s:?}"
-    );
-
-    // --- shape assertions ---------------------------------------------------
-    let ideal_at_10ms = 1.0 / 0.020; // 50 ops/s at 20 ms RTT
-    assert!(
-        nfs1[6] < ideal_at_10ms * 1.2,
-        "10 ms one-way caps a sync client near 50 ops/s: {}",
-        nfs1[6]
-    );
-    assert!(
-        nfs1[0] / nfs1[6] > 20.0,
-        "latency dominates: LAN beats WAN by >20x ({} vs {})",
-        nfs1[0],
-        nfs1[6]
-    );
-    assert!(
-        nfs8[6] > nfs1[6] * 5.0,
-        "8 concurrent processes hide latency: {} vs {}",
-        nfs8[6],
-        nfs1[6]
-    );
-    // the create part still pays the RTT, but the 4 cached stats per create
-    // keep the mixed workload far above the pure-create rate at high latency
-    assert!(
-        mixed[6] > nfs1[6] * 3.0,
-        "cached stats are latency-immune: {} vs {}",
-        mixed[6],
-        nfs1[6]
-    );
-    println!("\nSHAPE OK: sync RPCs ~ 1/RTT, parallelism and caching hide latency (paper §4.6).");
+    dmetabench::suite::run_scenario_main("exp_4_6_latency");
 }

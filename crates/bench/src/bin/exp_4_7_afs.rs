@@ -1,108 +1,9 @@
-//! EXP-4.7.3 — Measurements on AFS (paper §4.7.3).
+//! §4.7.3 — AFS cache-manager serialization and volume spreading.
 //!
-//! AFS aggregates its namespace externally: the client consults the VLDB
-//! and talks to volume servers directly, but its single-threaded cache
-//! manager serializes every RPC of the OS instance. Shapes to reproduce:
-//!
-//! * intra-node parallelism is flat (1 proc ≈ 8 procs on one node),
-//! * inter-node parallelism scales — every node brings its own cache
-//!   manager — until the volume servers saturate,
-//! * spreading load over volumes on different file servers scales further
-//!   than hammering one volume,
-//! * callback caching makes repeated stats local (open-to-close semantics).
-
-use bench::{fmt_ops, fmt_x, ExpTable};
-use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
-use dfs::{AfsFs, MetaOp};
-use simcore::SimDuration;
-
-fn streams_into(
-    workers: &[WorkerSpec],
-    volume_of_worker: impl Fn(usize) -> usize,
-) -> Vec<Box<dyn OpStream>> {
-    workers
-        .iter()
-        .enumerate()
-        .map(|(k, w)| {
-            let dir = format!("/vol{}/n{}p{}", volume_of_worker(k), w.node, w.proc);
-            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
-                Some(MetaOp::Create {
-                    path: format!("{dir}/f{i}"),
-                    data_bytes: 0,
-                })
-            });
-            s
-        })
-        .collect()
-}
-
-fn throughput(nodes: usize, ppn: usize, volume_of_worker: impl Fn(usize) -> usize) -> f64 {
-    let mut model = AfsFs::with_defaults();
-    let workers = bench::make_workers(nodes, ppn);
-    let streams = streams_into(&workers, volume_of_worker);
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(20));
-    let res = run_sim(
-        &mut model,
-        &bench::node_names(nodes),
-        workers,
-        streams,
-        &cfg,
-    );
-    res.stonewall_ops_per_sec()
-}
+//! Thin wrapper over the registered scenario `exp_4_7_afs`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // --- intra-node: flat ----------------------------------------------------
-    let ppns = [1usize, 2, 4, 8];
-    let mut t = ExpTable::new(
-        "§4.7.3 — AFS single node, creates into one volume [ops/s]",
-        &["processes", "ops/s", "vs 1 proc"],
-    );
-    let intra: Vec<f64> = ppns.iter().map(|&p| throughput(1, p, |_| 0)).collect();
-    for (i, &p) in ppns.iter().enumerate() {
-        t.row(vec![
-            p.to_string(),
-            fmt_ops(intra[i]),
-            fmt_x(intra[i] / intra[0]),
-        ]);
-    }
-    t.print();
-
-    // --- inter-node: scales ----------------------------------------------------
-    let nodes_list = [1usize, 2, 4, 8];
-    let mut t2 = ExpTable::new(
-        "§4.7.3 — AFS multi-node, 1 ppn [ops/s]",
-        &["nodes", "one volume", "volumes spread over servers"],
-    );
-    let mut one_vol = Vec::new();
-    let mut spread_vol = Vec::new();
-    for &n in &nodes_list {
-        let one = throughput(n, 1, |_| 0);
-        // default AFS layout: 8 volumes over 4 servers → pick per-worker
-        let spread = throughput(n, 1, |k| k % 8);
-        t2.row(vec![n.to_string(), fmt_ops(one), fmt_ops(spread)]);
-        one_vol.push(one);
-        spread_vol.push(spread);
-    }
-    t2.print();
-
-    // --- shape assertions ---------------------------------------------------
-    assert!(
-        intra[3] < intra[0] * 1.3,
-        "the cache manager serializes the node: {} → {}",
-        intra[0],
-        intra[3]
-    );
-    assert!(
-        one_vol[3] > one_vol[0] * 3.0,
-        "inter-node scaling works: {} → {}",
-        one_vol[0],
-        one_vol[3]
-    );
-    assert!(
-        spread_vol[3] >= one_vol[3] * 0.95,
-        "spreading volumes never hurts and helps once a server saturates"
-    );
-    println!("\nSHAPE OK: AFS flat intra-node, scaling inter-node (paper §4.7.3).");
+    dmetabench::suite::run_scenario_main("exp_4_7_afs");
 }

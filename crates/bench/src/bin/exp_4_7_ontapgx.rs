@@ -1,147 +1,9 @@
-//! EXP-4.7.1/4.7.2 — Intra-node and inter-node scalability on the
-//! namespace-aggregated Ontap GX cluster (paper §4.7.1–4.7.2).
+//! §4.7.1–4.7.2 — Ontap GX namespace aggregation scalability.
 //!
-//! The 8-filer GX cluster owns one volume per filer. Shapes to reproduce:
-//!
-//! * a single client writing into ONE volume is bounded by that volume's
-//!   owning D-blade no matter how many processes it runs,
-//! * giving every process its own volume (the per-process **path list** of
-//!   §3.3.6) spreads load over all D-blades and scales much further,
-//! * multi-node runs against one volume still bottleneck on the owner;
-//!   against all volumes they scale with the cluster,
-//! * forwarded (N-blade → remote D-blade) requests cost ~25 % extra, so
-//!   mount placement matters.
-
-use bench::{fmt_ops, fmt_x, ExpTable};
-use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
-use dfs::{MetaOp, OntapGxFs};
-use simcore::SimDuration;
-
-/// Streams that create into a per-worker directory under the given volume
-/// assignment function.
-fn streams_into(
-    workers: &[WorkerSpec],
-    volume_of_worker: impl Fn(usize) -> usize,
-) -> Vec<Box<dyn OpStream>> {
-    workers
-        .iter()
-        .enumerate()
-        .map(|(k, w)| {
-            let dir = format!("/vol{}/n{}p{}", volume_of_worker(k), w.node, w.proc);
-            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
-                Some(MetaOp::Create {
-                    path: format!("{dir}/sub{}/f{i}", i / 5000),
-                    data_bytes: 0,
-                })
-            });
-            s
-        })
-        .collect()
-}
-
-fn throughput(
-    nodes: usize,
-    ppn: usize,
-    volume_of_worker: impl Fn(usize) -> usize,
-) -> (f64, (u64, u64)) {
-    let mut model = OntapGxFs::with_defaults();
-    let workers = bench::make_workers(nodes, ppn);
-    let streams = streams_into(&workers, volume_of_worker);
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(20));
-    let res = run_sim(
-        &mut model,
-        &bench::node_names(nodes),
-        workers,
-        streams,
-        &cfg,
-    );
-    (res.stonewall_ops_per_sec(), model.forwarding_stats())
-}
+//! Thin wrapper over the registered scenario `exp_4_7_ontapgx`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // --- §4.7.1 single client -------------------------------------------------
-    let procs = [1usize, 2, 4, 8, 16];
-    let mut t = ExpTable::new(
-        "§4.7.1 — single client on Ontap GX [ops/s]",
-        &["processes", "one volume", "path list (8 volumes)", "gain"],
-    );
-    let mut single_vol = Vec::new();
-    let mut path_list = Vec::new();
-    for &p in &procs {
-        let (one, _) = throughput(1, p, |_| 0);
-        let (spread, _) = throughput(1, p, |k| k % 8);
-        t.row(vec![
-            p.to_string(),
-            fmt_ops(one),
-            fmt_ops(spread),
-            fmt_x(spread / one),
-        ]);
-        single_vol.push(one);
-        path_list.push(spread);
-    }
-    t.print();
-
-    // --- §4.7.2 multi-node -----------------------------------------------------
-    let nodes_list = [1usize, 2, 4, 8, 16];
-    let mut t2 = ExpTable::new(
-        "§4.7.2 — multi-node on Ontap GX, 1 ppn [ops/s]",
-        &["nodes", "one volume", "per-node volumes", "forwarded share"],
-    );
-    let mut one_vol_nodes = Vec::new();
-    let mut all_vol_nodes = Vec::new();
-    for &n in &nodes_list {
-        let (one, _) = throughput(n, 1, |_| 0);
-        let (spread, (fwd, local)) = throughput(n, 1, |k| k % 8);
-        t2.row(vec![
-            n.to_string(),
-            fmt_ops(one),
-            fmt_ops(spread),
-            format!("{:.0}%", 100.0 * fwd as f64 / (fwd + local).max(1) as f64),
-        ]);
-        one_vol_nodes.push(one);
-        all_vol_nodes.push(spread);
-    }
-    t2.print();
-
-    // --- forwarding efficiency --------------------------------------------------
-    // node 0 mounts filer 0: vol0 is local, vol5 is always forwarded
-    let (local_tp, _) = throughput(1, 4, |_| 0);
-    let (remote_tp, (fwd, _)) = throughput(1, 4, |_| 5);
-    let mut t3 = ExpTable::new(
-        "§4.7 — forwarding efficiency (client mounted on filer 0)",
-        &["target volume", "ops/s", "requests forwarded"],
-    );
-    t3.row(vec!["vol0 (local D-blade)".into(), fmt_ops(local_tp), "0".into()]);
-    t3.row(vec![
-        "vol5 (remote D-blade)".into(),
-        fmt_ops(remote_tp),
-        fwd.to_string(),
-    ]);
-    t3.print();
-    let efficiency = remote_tp / local_tp;
-    println!("remote/local efficiency: {:.0}% (paper cites ~75 % [ECK+07])", efficiency * 100.0);
-
-    // --- shape assertions ---------------------------------------------------
-    assert!(
-        single_vol[4] < single_vol[0] * 16.0 * 0.5,
-        "one volume saturates its D-blade well below linear"
-    );
-    assert!(
-        path_list[4] > single_vol[4] * 1.5,
-        "the path list spreads D-blade load: {} vs {}",
-        path_list[4],
-        single_vol[4]
-    );
-    assert!(
-        all_vol_nodes[4] > one_vol_nodes[4] * 1.5,
-        "multi-node scaling needs multiple volumes: {} vs {}",
-        all_vol_nodes[4],
-        one_vol_nodes[4]
-    );
-    assert!(
-        (0.6..0.95).contains(&efficiency),
-        "forwarding costs a noticeable but bounded overhead: {efficiency:.2}"
-    );
-    println!("\nSHAPE OK: single volume bottlenecks, path lists scale, forwarding ≈75–85 % efficient (paper §4.7.1–2).");
+    dmetabench::suite::run_scenario_main("exp_4_7_ontapgx");
 }

@@ -1,88 +1,9 @@
-//! EXP-4.8 — Write-back caching of metadata (paper §4.8).
+//! §4.8 — Lustre metadata write-back burst and commit-bound plateau.
 //!
-//! Lustre keeps a copy of every uncommitted metadata operation in the
-//! client cache until the MDS has committed it to disk (paper §2.6.4,
-//! §4.8). While the commit pipeline keeps up, creates run at RPC speed;
-//! once the client's uncommitted-operation window fills, each new operation
-//! must wait for a commit slot — the time chart shows a fast burst followed
-//! by a commit-bound plateau. Disabling write-back tracking removes the
-//! plateau (and the persistence guarantee).
-
-use bench::{fmt_ops, ExpTable};
-use cluster::SimConfig;
-use dfs::{DistFs, LustreConfig, LustreFs};
-use dmetabench::{chart, preprocess, Preprocessed, ResultSet};
-use simcore::SimDuration;
-
-fn run(window: usize, commit_us: u64) -> Preprocessed {
-    let mut cfg = LustreConfig::default();
-    cfg.writeback_window = window;
-    cfg.commit_demand = SimDuration::from_micros(commit_us);
-    let mut model: Box<dyn DistFs> = Box::new(LustreFs::new(cfg));
-    let mut sim = SimConfig::default();
-    sim.duration = Some(SimDuration::from_secs(30));
-    let res = bench::run_makefiles(model.as_mut(), 1, 1, &sim);
-    let rs = ResultSet::from_run("MakeFiles", 1, 1, &res);
-    preprocess(&rs, &[])
-}
-
-fn phase_throughput(pre: &Preprocessed, from: f64, to: f64) -> f64 {
-    let rows: Vec<_> = pre
-        .intervals
-        .iter()
-        .filter(|r| r.timestamp > from && r.timestamp <= to)
-        .collect();
-    rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64
-}
+//! Thin wrapper over the registered scenario `exp_4_8_writeback`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // window of 1024 uncommitted ops; a slow disk journal (3 ms/commit)
-    let throttled = run(1024, 3_000);
-    // same protocol with commits fast enough to never throttle
-    let fast_commit = run(1024, 25);
-    // write-back tracking disabled entirely
-    let disabled = run(0, 25);
-
-    let mut t = ExpTable::new(
-        "§4.8 — Lustre metadata write-back: creation throughput by phase [ops/s]",
-        &["configuration", "burst (0–1 s)", "steady (10–30 s)", "burst/steady"],
-    );
-    for (label, pre) in [
-        ("slow commits (window 1024, 3 ms)", &throttled),
-        ("fast commits (window 1024, 25 µs)", &fast_commit),
-        ("write-back tracking off", &disabled),
-    ] {
-        let burst = phase_throughput(pre, 0.0, 1.0);
-        let steady = phase_throughput(pre, 10.0, 30.0);
-        t.row(vec![
-            label.into(),
-            fmt_ops(burst),
-            fmt_ops(steady),
-            format!("{:.2}", burst / steady.max(1.0)),
-        ]);
-    }
-    t.print();
-
-    println!("{}", chart::time_chart(&throttled));
-    bench::save_artifact("exp_4_8_writeback.svg", &chart::svg_time_chart(&throttled));
-
-    // --- shape assertions ---------------------------------------------------
-    let burst = phase_throughput(&throttled, 0.0, 1.0);
-    let steady = phase_throughput(&throttled, 10.0, 30.0);
-    assert!(
-        burst > steady * 1.5,
-        "initial burst outruns the commit-bound steady state: {burst} vs {steady}"
-    );
-    let commit_rate = 1.0e6 / 3_000.0; // ops/s the commit pipeline can retire
-    assert!(
-        (steady - commit_rate).abs() / commit_rate < 0.15,
-        "steady state converges to the commit rate: {steady} vs {commit_rate}"
-    );
-    let fast_steady = phase_throughput(&fast_commit, 10.0, 30.0);
-    let disabled_steady = phase_throughput(&disabled, 10.0, 30.0);
-    assert!(
-        (fast_steady - disabled_steady).abs() / disabled_steady < 0.1,
-        "a fast commit pipeline never throttles: {fast_steady} vs {disabled_steady}"
-    );
-    println!("\nSHAPE OK: fast burst, then commit-bound plateau at the journal rate (paper §4.8).");
+    dmetabench::suite::run_scenario_main("exp_4_8_writeback");
 }

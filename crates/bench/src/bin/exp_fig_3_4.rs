@@ -1,63 +1,9 @@
-//! FIG-3.4 — The time-interval logging worked example (paper §3.2.5).
+//! Fig. 3.4 — interval merging and stonewall vs wall-clock averages.
 //!
-//! Three processes perform 30 operations each; the figure's per-interval
-//! totals are 19, 45, 70, 85, 90 cumulative (deltas 19, 26, 25, 15, 5).
-//! The wall-clock average is 18 ops per time unit (90 ops / 5 units) and
-//! the stonewall average is 23.3 ops per time unit (70 ops / 3 units,
-//! because the first process finishes after 3 units).
-
-use bench::ExpTable;
-use dmetabench::{preprocess, ProcessTrace, ResultSet};
+//! Thin wrapper over the registered scenario `exp_fig_3_4`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // The figure's per-process cumulative logs (time unit = 1 s here).
-    let traces = [
-        ("P1", vec![(1.0, 5), (2.0, 13), (3.0, 18), (4.0, 25), (5.0, 30)]),
-        ("P2", vec![(1.0, 8), (2.0, 18), (3.0, 30)]),
-        ("P3", vec![(1.0, 6), (2.0, 14), (3.0, 22), (4.0, 30)]),
-    ];
-    let rs = ResultSet {
-        operation: "Fig3.4Example".into(),
-        fs_name: "worked-example".into(),
-        nodes: 1,
-        ppn: 3,
-        interval_s: 1.0,
-        processes: traces
-            .iter()
-            .enumerate()
-            .map(|(i, (_, s))| ProcessTrace {
-                hostname: "node0".into(),
-                process_no: i,
-                samples: s.clone(),
-                finished_at: Some(s.last().unwrap().0),
-                ops_done: s.last().unwrap().1,
-                errors: 0,
-            })
-            .collect(),
-    };
-    let pre = preprocess(&rs, &[]);
-
-    let mut t = ExpTable::new(
-        "Fig. 3.4 — time-interval logging example",
-        &["t", "total completed", "delta (this interval)"],
-    );
-    let mut prev = 0;
-    for row in &pre.intervals {
-        t.row(vec![
-            format!("{:.0}", row.timestamp),
-            row.total_done.to_string(),
-            (row.total_done - prev).to_string(),
-        ]);
-        prev = row.total_done;
-    }
-    t.print();
-
-    println!("\nwall-clock average : {:.1} ops/unit (paper: 18)", pre.wallclock_avg);
-    println!("stonewall average  : {:.1} ops/unit (paper: 23.3)", pre.stonewall_avg);
-
-    let totals: Vec<u64> = pre.intervals.iter().map(|r| r.total_done).collect();
-    assert_eq!(totals, vec![19, 45, 70, 85, 90], "figure's cumulative totals");
-    assert!((pre.wallclock_avg - 18.0).abs() < 1e-9);
-    assert!((pre.stonewall_avg - 70.0 / 3.0).abs() < 1e-9);
-    println!("MATCH: totals 19/45/70/85/90, averages 18 and 23.3 reproduced.");
+    dmetabench::suite::run_scenario_main("exp_fig_3_4");
 }

@@ -1,89 +1,9 @@
-//! FIG-4.4 — Recognizing a CPU disturbance on one node (paper §4.2.3).
+//! Fig. 4.4 — compute-load disturbance on a creating node.
 //!
-//! MakeFiles from 4 nodes × 1 process to the NFS filer for 60 s. Run (a) is
-//! clean; in run (b) a CPU-hog process storm occupies node 0 from t = 16 s
-//! to t = 22 s. The paper's findings to reproduce: total throughput dips
-//! visibly (≈5 500 → ≈4 000 ops/s on their filer), and the per-process COV
-//! steps up for exactly the disturbance window.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{Disturbance, SimConfig};
-use dfs::NfsFs;
-use dmetabench::{chart, preprocess, ResultSet};
-use simcore::{SimDuration, SimTime};
-
-fn run(disturbed: bool) -> dmetabench::Preprocessed {
-    let mut model = NfsFs::with_defaults();
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(60));
-    cfg.node_cores = 1; // single benchmark slot per node, like the paper's serial pool
-    if disturbed {
-        cfg.disturbances.push(Disturbance::CpuHog {
-            node: 0,
-            start: SimTime::from_secs(16),
-            end: SimTime::from_secs(22),
-            weight: 8.0, // several dozen hogs share one core with the worker
-        });
-    }
-    let res = bench::run_makefiles(&mut model, 4, 1, &cfg);
-    let rs = ResultSet::from_run("MakeFiles", 4, 1, &res);
-    preprocess(&rs, &[])
-}
-
-fn window_avg(pre: &dmetabench::Preprocessed, from: f64, to: f64) -> (f64, f64) {
-    let rows: Vec<_> = pre
-        .intervals
-        .iter()
-        .filter(|r| r.timestamp > from && r.timestamp <= to)
-        .collect();
-    let tp = rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64;
-    let cov = rows.iter().map(|r| r.cov).sum::<f64>() / rows.len().max(1) as f64;
-    (tp, cov)
-}
+//! Thin wrapper over the registered scenario `exp_fig_4_4`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let clean = run(false);
-    let disturbed = run(true);
-
-    let mut t = ExpTable::new(
-        "Fig. 4.4 — MakeFiles 4 nodes × 1 ppn on NFS, CPU hog on one node 16–22 s",
-        &["window", "clean ops/s", "clean COV", "hog ops/s", "hog COV"],
-    );
-    for (label, from, to) in [
-        ("before (6–16 s)", 6.0, 16.0),
-        ("during (16–22 s)", 16.0, 22.0),
-        ("after (22–32 s)", 22.0, 32.0),
-    ] {
-        let (ctp, ccov) = window_avg(&clean, from, to);
-        let (dtp, dcov) = window_avg(&disturbed, from, to);
-        t.row(vec![
-            label.into(),
-            fmt_ops(ctp),
-            format!("{ccov:.3}"),
-            fmt_ops(dtp),
-            format!("{dcov:.3}"),
-        ]);
-    }
-    t.print();
-
-    println!("{}", chart::time_chart(&disturbed));
-    bench::save_artifact("fig_4_4_clean.svg", &chart::svg_time_chart(&clean));
-    bench::save_artifact("fig_4_4_disturbed.svg", &chart::svg_time_chart(&disturbed));
-
-    let (before_tp, before_cov) = window_avg(&disturbed, 6.0, 16.0);
-    let (during_tp, during_cov) = window_avg(&disturbed, 16.0, 22.0);
-    let (after_tp, after_cov) = window_avg(&disturbed, 22.0, 32.0);
-    assert!(
-        during_tp < before_tp * 0.95,
-        "throughput dips during the hog: {before_tp} → {during_tp}"
-    );
-    assert!(
-        during_cov > before_cov * 3.0 && during_cov > after_cov * 3.0,
-        "COV steps up for exactly the window: {before_cov} / {during_cov} / {after_cov}"
-    );
-    assert!(
-        after_tp > during_tp,
-        "throughput recovers after the hog ends"
-    );
-    println!("SHAPE OK: visible throughput dip + COV step confined to the 16–22 s window (paper Fig. 4.4).");
+    dmetabench::suite::run_scenario_main("exp_fig_4_4");
 }

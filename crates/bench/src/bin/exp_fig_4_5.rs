@@ -1,76 +1,9 @@
-//! FIG-4.5 — Recognizing a server-side snapshot disturbance (paper §4.2.3).
+//! Fig. 4.5 — server pause stalls every client at once.
 //!
-//! Same setup as Fig. 4.4 (MakeFiles, 4 nodes × 1 ppn, NFS), but the *filer*
-//! creates multiple snapshots starting at t ≈ 9 s. The paper's finding: the
-//! per-process COV also rises, but "in a much more random manner" — because
-//! a server pause hits whichever requests happen to be in flight, not one
-//! designated node.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{Disturbance, SimConfig};
-use dfs::NfsFs;
-use dmetabench::{chart, preprocess, ResultSet};
-use simcore::{SimDuration, SimTime};
+//! Thin wrapper over the registered scenario `exp_fig_4_5`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let mut model = NfsFs::with_defaults();
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(60));
-    cfg.node_cores = 1;
-    // the filer creates several snapshots back to back from t = 9 s
-    for k in 0..6u64 {
-        cfg.disturbances.push(Disturbance::ServerPause {
-            server: 0,
-            at: SimTime::from_millis(9_000 + k * 1_700),
-            duration: SimDuration::from_millis(260 + (k * 97) % 200),
-        });
-    }
-    let res = bench::run_makefiles(&mut model, 4, 1, &cfg);
-    let rs = ResultSet::from_run("MakeFiles", 4, 1, &res);
-    let pre = preprocess(&rs, &[]);
-
-    let window = |from: f64, to: f64| -> (f64, f64, f64) {
-        let rows: Vec<_> = pre
-            .intervals
-            .iter()
-            .filter(|r| r.timestamp > from && r.timestamp <= to)
-            .collect();
-        let tp = rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64;
-        let cov_mean = rows.iter().map(|r| r.cov).sum::<f64>() / rows.len().max(1) as f64;
-        let cov_max = rows.iter().map(|r| r.cov).fold(0.0, f64::max);
-        (tp, cov_mean, cov_max)
-    };
-
-    let mut t = ExpTable::new(
-        "Fig. 4.5 — MakeFiles 4 nodes × 1 ppn, filer snapshots from t ≈ 9 s",
-        &["window", "ops/s", "mean COV", "max COV"],
-    );
-    for (label, from, to) in [
-        ("before (2–9 s)", 2.0, 9.0),
-        ("snapshots (9–20 s)", 9.0, 20.0),
-        ("after (20–40 s)", 20.0, 40.0),
-    ] {
-        let (tp, cm, cx) = window(from, to);
-        t.row(vec![
-            label.into(),
-            fmt_ops(tp),
-            format!("{cm:.3}"),
-            format!("{cx:.3}"),
-        ]);
-    }
-    t.print();
-    println!("{}", chart::time_chart(&pre));
-    bench::save_artifact("fig_4_5_snapshots.svg", &chart::svg_time_chart(&pre));
-
-    let (tp_before, _, covmax_before) = window(2.0, 9.0);
-    let (tp_during, _, covmax_during) = window(9.0, 20.0);
-    assert!(
-        tp_during < tp_before,
-        "snapshots cost throughput: {tp_before} → {tp_during}"
-    );
-    assert!(
-        covmax_during > covmax_before * 2.0,
-        "COV spikes erratically during snapshots: {covmax_before} → {covmax_during}"
-    );
-    println!("SHAPE OK: throughput dips and COV spikes randomly during the snapshot window (paper Fig. 4.5).");
+    dmetabench::suite::run_scenario_main("exp_fig_4_5");
 }

@@ -1,111 +1,9 @@
-//! FIG-4.6 — Server saturation and WAFL consistency points (paper §4.2.3).
+//! Fig. 4.6 — consistency-point sawtooth under 20-node load.
 //!
-//! MakeFiles from 20 nodes × 1 ppn saturates the filer; the throughput
-//! trace shows the sawtooth of WAFL consistency points (triggered at the
-//! latest 10 s after the previous one). In run (b) a CPU hog obstructs one
-//! node starting ≈20 s: because the server — not the clients — is the
-//! bottleneck, total throughput barely changes, but the per-process COV
-//! still exposes the disturbance. That asymmetry is the paper's core
-//! argument for time-interval logging over summary numbers.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{Disturbance, SimConfig};
-use dfs::NfsFs;
-use dmetabench::{chart, preprocess, Preprocessed, ResultSet};
-use simcore::{SimDuration, SimTime};
-
-fn run(hog: bool) -> (Preprocessed, u64) {
-    let mut model = NfsFs::with_defaults();
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(60));
-    cfg.node_cores = 1;
-    if hog {
-        cfg.disturbances.push(Disturbance::CpuHog {
-            node: 0,
-            start: SimTime::from_secs(20),
-            end: SimTime::from_secs(40),
-            weight: 8.0,
-        });
-    }
-    let res = bench::run_makefiles(&mut model, 20, 1, &cfg);
-    let rs = ResultSet::from_run("MakeFiles", 20, 1, &res);
-    (preprocess(&rs, &[]), model.consistency_points())
-}
-
-fn window(pre: &Preprocessed, from: f64, to: f64) -> (f64, f64) {
-    let rows: Vec<_> = pre
-        .intervals
-        .iter()
-        .filter(|r| r.timestamp > from && r.timestamp <= to)
-        .collect();
-    let tp = rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64;
-    let cov = rows.iter().map(|r| r.cov).sum::<f64>() / rows.len().max(1) as f64;
-    (tp, cov)
-}
+//! Thin wrapper over the registered scenario `exp_fig_4_6`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let (clean, cps) = run(false);
-    let (hogged, _) = run(true);
-
-    // sawtooth detection: count deep throughput dips after warmup
-    let peak = clean
-        .intervals
-        .iter()
-        .filter(|r| r.timestamp > 5.0)
-        .map(|r| r.throughput)
-        .fold(0.0, f64::max);
-    let mut dips = 0;
-    let mut in_dip = false;
-    for r in clean.intervals.iter().filter(|r| r.timestamp > 5.0) {
-        let low = r.throughput < peak * 0.5;
-        if low && !in_dip {
-            dips += 1;
-        }
-        in_dip = low;
-    }
-
-    let mut t = ExpTable::new(
-        "Fig. 4.6 — MakeFiles 20 nodes × 1 ppn on NFS (saturated filer)",
-        &["metric", "clean run (a)", "hog on node 0 (b)"],
-    );
-    let (ctp, ccov) = window(&clean, 20.0, 40.0);
-    let (htp, hcov) = window(&hogged, 20.0, 40.0);
-    t.row(vec![
-        "ops/s in 20–40 s window".into(),
-        fmt_ops(ctp),
-        fmt_ops(htp),
-    ]);
-    t.row(vec![
-        "mean COV in 20–40 s window".into(),
-        format!("{ccov:.3}"),
-        format!("{hcov:.3}"),
-    ]);
-    t.row(vec![
-        "consistency points (60 s run)".into(),
-        cps.to_string(),
-        "-".into(),
-    ]);
-    t.row(vec![
-        "sawtooth dips detected".into(),
-        dips.to_string(),
-        "-".into(),
-    ]);
-    t.print();
-
-    println!("{}", chart::time_chart(&clean));
-    bench::save_artifact("fig_4_6_clean.svg", &chart::svg_time_chart(&clean));
-    bench::save_artifact("fig_4_6_hogged.svg", &chart::svg_time_chart(&hogged));
-
-    assert!(cps >= 4, "a 60 s saturated run crosses several consistency points: {cps}");
-    assert!(dips >= 3, "the throughput trace shows the CP sawtooth: {dips} dips");
-    let tp_change = (ctp - htp).abs() / ctp;
-    assert!(
-        tp_change < 0.15,
-        "total throughput barely changes when one of 20 clients is slowed: {tp_change:.3}"
-    );
-    assert!(
-        hcov > ccov * 1.5,
-        "…but the COV still exposes the disturbance: {ccov:.3} → {hcov:.3}"
-    );
-    println!("SHAPE OK: CP sawtooth visible; hog invisible in totals but visible in COV (paper Fig. 4.6).");
+    dmetabench::suite::run_scenario_main("exp_fig_4_6");
 }

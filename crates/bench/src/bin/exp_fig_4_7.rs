@@ -1,88 +1,9 @@
-//! FIG-4.7 — A competing sequential write stream (paper §4.2.3).
+//! Fig. 4.7 — competing large writes disturb metadata service.
 //!
-//! MakeFiles from 20 nodes × 1 ppn while an external process twice writes a
-//! large file to the same filer. The paper's finding: metadata throughput
-//! decreases globally during each write, but — unlike the per-node CPU hog —
-//! there is very little difference *between* nodes, so the COV stays low.
-//! Distinguishing these two disturbance signatures is exactly what the
-//! combined time chart is for.
-
-use bench::{fmt_ops, ExpTable};
-use cluster::{Disturbance, SimConfig};
-use dfs::NfsFs;
-use dmetabench::{chart, preprocess, ResultSet};
-use simcore::{SimDuration, SimTime};
+//! Thin wrapper over the registered scenario `exp_fig_4_7`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let mut model = NfsFs::with_defaults();
-    let mut cfg = SimConfig::default();
-    cfg.duration = Some(SimDuration::from_secs(60));
-    cfg.node_cores = 1;
-    // two large sequential writes: a stream of data requests occupying the
-    // filer (write window 12–24 s and 36–48 s)
-    for (start, end) in [(12.0, 24.0), (36.0, 48.0)] {
-        cfg.disturbances.push(Disturbance::ServerLoad {
-            server: 0,
-            start: SimTime::from_secs_f64(start),
-            end: SimTime::from_secs_f64(end),
-            demand: SimDuration::from_millis(10), // a burst of large write chunks
-            interval: SimDuration::from_millis(4),
-        });
-    }
-    let res = bench::run_makefiles(&mut model, 20, 1, &cfg);
-    let rs = ResultSet::from_run("MakeFiles", 20, 1, &res);
-    let pre = preprocess(&rs, &[]);
-
-    let window = |from: f64, to: f64| -> (f64, f64) {
-        let rows: Vec<_> = pre
-            .intervals
-            .iter()
-            .filter(|r| r.timestamp > from && r.timestamp <= to)
-            .collect();
-        (
-            rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64,
-            rows.iter().map(|r| r.cov).sum::<f64>() / rows.len().max(1) as f64,
-        )
-    };
-
-    let mut t = ExpTable::new(
-        "Fig. 4.7 — MakeFiles 20 nodes × 1 ppn with two competing sequential writes",
-        &["window", "ops/s", "mean COV"],
-    );
-    let spans = [
-        ("quiet (4–12 s)", 4.0, 12.0),
-        ("write #1 (12–24 s)", 12.0, 24.0),
-        ("quiet (24–36 s)", 24.0, 36.0),
-        ("write #2 (36–48 s)", 36.0, 48.0),
-        ("quiet (48–60 s)", 48.0, 60.0),
-    ];
-    let mut quiet_tp = Vec::new();
-    let mut busy_tp = Vec::new();
-    let mut covs = Vec::new();
-    for (label, from, to) in spans {
-        let (tp, cov) = window(from, to);
-        covs.push(cov);
-        if label.starts_with("write") {
-            busy_tp.push(tp);
-        } else {
-            quiet_tp.push(tp);
-        }
-        t.row(vec![label.into(), fmt_ops(tp), format!("{cov:.3}")]);
-    }
-    t.print();
-    println!("{}", chart::time_chart(&pre));
-    bench::save_artifact("fig_4_7_seqwrite.svg", &chart::svg_time_chart(&pre));
-
-    let quiet = quiet_tp.iter().sum::<f64>() / quiet_tp.len() as f64;
-    let busy = busy_tp.iter().sum::<f64>() / busy_tp.len() as f64;
-    assert!(
-        busy < quiet * 0.85,
-        "global slowdown while the writes run: {quiet} → {busy}"
-    );
-    let max_cov = covs.iter().fold(0.0f64, |a, &b| a.max(b));
-    assert!(
-        max_cov < 0.35,
-        "all nodes slow down together, so COV stays low: {max_cov:.3}"
-    );
-    println!("SHAPE OK: global throughput dips during writes, COV stays low (paper Fig. 4.7).");
+    dmetabench::suite::run_scenario_main("exp_fig_4_7");
 }

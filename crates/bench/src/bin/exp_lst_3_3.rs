@@ -1,61 +1,9 @@
-//! LST-3.3/3.4/3.5 — The StatNocacheFiles result pipeline (paper §3.3.9).
+//! Listings 3.3–3.5 — the worked StatNocacheFiles preprocessing example.
 //!
-//! Runs StatNocacheFiles with four processes on two nodes (problem size
-//! 5 000 per process, as in listing 3.3) on the NFS/WAFL model, then prints
-//! the three artifacts of the paper's preprocessing pipeline: the raw
-//! result TSV (listing 3.3), the interval summary (listing 3.4) and the
-//! one-line summary with stonewall and fixed-N averages (listing 3.5).
-//! Absolute numbers differ from the paper's production filer; the *format*
-//! and the computation are identical and the magnitudes comparable
-//! (paper: stonewall 22 191 ops/s on 4 processes).
-
-use cluster::SimConfig;
-use dfs::{DistFs, NfsFs};
-use dmetabench::{run_single, BenchParams};
-use simcore::SimDuration;
+//! Thin wrapper over the registered scenario `exp_lst_3_3`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    let params = BenchParams {
-        operations: vec!["StatNocacheFiles".into()],
-        problem_size: 5000,
-        sample_interval: SimDuration::from_millis(100),
-        label: "lst-3-3".into(),
-        ..BenchParams::default()
-    };
-    let mut model: Box<dyn DistFs> = Box::new(NfsFs::with_defaults());
-    let (rs, pre) = run_single(
-        &params,
-        "StatNocacheFiles",
-        2,
-        2,
-        &mut model,
-        &SimConfig::default(),
-    );
-
-    println!("--- listing 3.3: raw result file {} (first/last rows) ---", rs.file_name());
-    let tsv = rs.to_tsv();
-    let lines: Vec<&str> = tsv.lines().collect();
-    for l in lines.iter().take(6) {
-        println!("{l}");
-    }
-    println!("[...]");
-    for l in lines.iter().rev().take(3).collect::<Vec<_>>().iter().rev() {
-        println!("{l}");
-    }
-
-    println!("\n--- listing 3.4: interval summary ---");
-    print!("{}", pre.interval_tsv());
-
-    println!("--- listing 3.5: performance summary ---");
-    print!("{}", pre.summary_tsv());
-
-    println!(
-        "\nstonewall {:.0} ops/s across 4 uncached stat processes (paper measured 22 191 on its filer)",
-        pre.stonewall_avg
-    );
-    assert_eq!(rs.total_ops(), 4 * 5000);
-    assert!(pre.stonewall_avg > 1000.0, "sane uncached stat throughput");
-    bench::save_artifact("lst_3_3_results.tsv", &tsv);
-    bench::save_artifact("lst_3_3_intervals.tsv", &pre.interval_tsv());
-    println!("SHAPE OK: full 20 000-op run, per-interval log, stonewall/fixed-N summary produced.");
+    dmetabench::suite::run_scenario_main("exp_lst_3_3");
 }

@@ -1,24 +1,9 @@
-//! TAB-3.1 — Weak/isogranular vs. strong scaling problem sizes
-//! (paper §3.2.3, Table 3.1).
+//! Table 3.1 — expected namespace sizes per HPC system class.
 //!
-//! Regenerates the table for the paper's initial problem size n = 6000 and
-//! process counts 1–1000, demonstrating why DMetabench needs both scaling
-//! modes (and why time-interval logging can recover strong-scaling numbers
-//! from a weak-scaling run, §3.2.5).
+//! Thin wrapper over the registered scenario `exp_tab_3_1`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    println!("{}", dmetabench::scaling::scaling_table_text(
-        6000,
-        &[1, 2, 3, 4, 5, 10, 100, 1000],
-    ));
-    println!(
-        "Paper check (Table 3.1): 2 processes → isogranular total 12000 / strong per-process 3000;"
-    );
-    println!("                        1000 processes → isogranular total 6000000 / strong per-process 6.");
-    let rows = dmetabench::scaling::scaling_table(6000, &[2, 1000]);
-    assert_eq!(rows[0].iso_total, 12_000);
-    assert_eq!(rows[0].strong_per_process, 3_000);
-    assert_eq!(rows[1].iso_total, 6_000_000);
-    assert_eq!(rows[1].strong_per_process, 6);
-    println!("MATCH: reproduced values equal the paper's table.");
+    dmetabench::suite::run_scenario_main("exp_tab_3_1");
 }

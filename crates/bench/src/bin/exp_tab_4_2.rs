@@ -1,76 +1,9 @@
-//! TAB-4.2 — Harness overhead (paper §4.2.2, Table 4.2).
+//! Table 4.2 — harness dispatch overhead (wall-clock micro-measurement).
 //!
-//! The paper compares a Python loop creating 200 000 files against a pure C
-//! loop on `/dev/shm` (2.1 s vs 0.62 s) and argues the overhead is a fixed
-//! per-operation cost that cancels out of comparative measurements. Our
-//! harness's equivalent overhead is dynamic plugin dispatch + `MetaOp`
-//! allocation vs. a hand-inlined loop on the same in-memory file system.
-
-use bench::ExpTable;
-use dmetabench::{plugin_by_name, BenchParams, WorkerCtx};
-use memfs::{MemFs, Vfs};
-use std::time::Instant;
-
-const N: u64 = 200_000;
-
-fn raw_loop() -> f64 {
-    let mut fs = MemFs::new();
-    fs.mkdir("/w").expect("fresh fs");
-    let t0 = Instant::now();
-    for i in 0..N {
-        let fd = fs.create(&format!("/w/{i}")).expect("unique names");
-        fs.close(fd).expect("open handle");
-    }
-    t0.elapsed().as_secs_f64()
-}
-
-fn harness_loop() -> f64 {
-    let mut fs = MemFs::new();
-    let params = BenchParams {
-        problem_size: N, // one giant directory chunk, like the raw loop
-        workdir: "/w".into(),
-        ..BenchParams::default()
-    };
-    let ctx = WorkerCtx::build(&[(0, 0)], &params, 1).remove(0);
-    let plugin = plugin_by_name("MakeFiles").expect("built-in plugin");
-    let mut stream = plugin.stream(&ctx);
-    let t0 = Instant::now();
-    for i in 0..N {
-        let op = stream(i).expect("timed stream never ends");
-        if i == 0 {
-            cluster::ensure_parents(&mut fs, op.primary_path()).expect("mkdir chain");
-        }
-        cluster::exec_op(&mut fs, &op).expect("unique names");
-    }
-    t0.elapsed().as_secs_f64()
-}
+//! Thin wrapper over the registered scenario `exp_tab_4_2`; the experiment logic
+//! lives in `dmetabench::scenarios`. Run every scenario at once (and
+//! compare against baselines) with `dmetabench suite`.
 
 fn main() {
-    // warm up allocators, then measure
-    let _ = raw_loop();
-    let raw = raw_loop();
-    let harness = harness_loop();
-    let mut t = ExpTable::new(
-        "Table 4.2 — loop runtime for 200 000 file creations (in-memory fs)",
-        &["variant", "runtime [s]", "per-op overhead [ns]"],
-    );
-    t.row(vec![
-        "hand-inlined loop (\"C\")".into(),
-        format!("{raw:.3}"),
-        "-".into(),
-    ]);
-    t.row(vec![
-        "plugin dispatch loop (\"Python\")".into(),
-        format!("{harness:.3}"),
-        format!("{:.0}", (harness - raw).max(0.0) * 1e9 / N as f64),
-    ]);
-    t.print();
-    println!(
-        "\noverhead factor {:.2}x (paper's Python/C factor was {:.2}x; their point — the overhead",
-        harness / raw,
-        2.1 / 0.62
-    );
-    println!("is constant per operation and vanishes against slow distributed file systems — holds here too).");
-    assert!(harness / raw < 3.5, "dispatch overhead stays moderate");
-    println!("SHAPE OK: harness loop is a constant factor over the raw loop.");
+    dmetabench::suite::run_scenario_main("exp_tab_4_2");
 }

@@ -1,169 +1,23 @@
 //! Shared helpers for the experiment binaries.
 //!
-//! Each binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for
-//! paper-vs-measured shapes). The helpers here keep the binaries small:
-//! table formatting, standard sweeps, and SVG output under
-//! `target/experiments/`.
+//! The experiment logic now lives in the scenario registry of
+//! [`dmetabench::suite`] (one module per paper artifact under
+//! `dmetabench::scenarios`); each binary in `src/bin/` is a thin wrapper
+//! that runs its registered scenario. This crate re-exports the helper
+//! surface the criterion benches and older callers were written against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cluster::{run_sim, OpStream, SimConfig, SimRunResult, WorkerSpec};
-use dfs::{DistFs, MetaOp};
-use std::path::PathBuf;
-
-/// A printable experiment table.
-#[derive(Debug, Clone)]
-pub struct ExpTable {
-    /// Table title (names the paper artifact, e.g. "Fig. 4.4").
-    pub title: String,
-    /// Column headers.
-    pub headers: Vec<String>,
-    /// Data rows.
-    pub rows: Vec<Vec<String>>,
-}
-
-impl ExpTable {
-    /// Create an empty table.
-    pub fn new(title: &str, headers: &[&str]) -> Self {
-        ExpTable {
-            title: title.to_owned(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Append a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width differs from the header width.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Render with aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let mut out = format!("\n=== {} ===\n", self.title);
-        let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.headers));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Print to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-}
-
-/// Uniform node names for simulated runs.
-pub fn node_names(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("lxnode{i:02}")).collect()
-}
-
-/// `nodes × ppn` normal-priority workers.
-pub fn make_workers(nodes: usize, ppn: usize) -> Vec<WorkerSpec> {
-    let mut out = Vec::with_capacity(nodes * ppn);
-    for n in 0..nodes {
-        for p in 0..ppn {
-            out.push(WorkerSpec::new(n, p));
-        }
-    }
-    out
-}
-
-/// Per-worker create streams under distinct directories (MakeFiles-shaped;
-/// unbounded — pair with a duration in [`SimConfig`]).
-pub fn create_streams(workers: &[WorkerSpec], data_bytes: u64) -> Vec<Box<dyn OpStream>> {
-    workers
-        .iter()
-        .map(|w| {
-            let dir = format!("/bench/n{}p{}", w.node, w.proc);
-            let b: Box<dyn OpStream> = Box::new(move |i: u64| {
-                Some(MetaOp::Create {
-                    path: format!("{dir}/sub{}/f{i}", i / 5000),
-                    data_bytes,
-                })
-            });
-            b
-        })
-        .collect()
-}
-
-/// Run a duration-bounded MakeFiles-style workload and return the result.
-pub fn run_makefiles(
-    model: &mut dyn DistFs,
-    nodes: usize,
-    ppn: usize,
-    config: &SimConfig,
-) -> SimRunResult {
-    let workers = make_workers(nodes, ppn);
-    let streams = create_streams(&workers, 0);
-    run_sim(model, &node_names(nodes), workers, streams, config)
-}
-
-/// Stonewall throughput of a MakeFiles run at `nodes × ppn` — the standard
-/// scaling probe used by several experiments.
-pub fn makefiles_throughput(
-    mut model: Box<dyn DistFs>,
-    nodes: usize,
-    ppn: usize,
-    config: &SimConfig,
-) -> f64 {
-    let res = run_makefiles(model.as_mut(), nodes, ppn, config);
-    res.stonewall_ops_per_sec()
-}
-
-/// Output directory for experiment artifacts (`target/experiments`).
-pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    std::fs::create_dir_all(&dir).expect("can create target/experiments");
-    dir
-}
-
-/// Write an artifact (chart, TSV) into the experiment output directory and
-/// note it on stdout.
-pub fn save_artifact(name: &str, content: &str) {
-    let path = out_dir().join(name);
-    std::fs::write(&path, content).expect("can write experiment artifact");
-    println!("[artifact] {}", path.display());
-}
-
-/// Format ops/s for table cells.
-pub fn fmt_ops(v: f64) -> String {
-    format!("{v:.0}")
-}
-
-/// Format a ratio/factor for table cells.
-pub fn fmt_x(v: f64) -> String {
-    format!("{v:.2}x")
-}
+pub use dmetabench::suite::{
+    create_streams, fmt_ops, fmt_x, make_workers, makefiles_throughput, node_names, out_dir,
+    run_makefiles, save_artifact, ExpTable,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cluster::SimConfig;
     use dfs::NfsFs;
     use simcore::SimDuration;
 

@@ -39,8 +39,7 @@ mod threadengine;
 
 pub use placement::{execution_plan, MpiWorld, Placement, RunSpec};
 pub use simengine::{
-    create_stream, run_sim, Disturbance, OpStream, SimConfig, SimRunResult, WorkerSpec,
-    WorkerTrace,
+    create_stream, run_sim, Disturbance, OpStream, SimConfig, SimRunResult, WorkerSpec, WorkerTrace,
 };
 pub use threadengine::{
     ensure_parents, exec_op, hostname, run_threads, RealOpStream, ThreadRunConfig,

@@ -111,11 +111,7 @@ impl Placement {
 
     /// Largest number of workers available on any single node.
     pub fn max_ppn(&self) -> usize {
-        self.workers_by_node
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0)
+        self.workers_by_node.iter().map(Vec::len).max().unwrap_or(0)
     }
 
     /// The global worker order of Fig. 3.9: first one worker from each node

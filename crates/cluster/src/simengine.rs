@@ -222,15 +222,34 @@ const HOG_BASE: u64 = 1 << 41;
 
 #[derive(Debug)]
 enum Ev {
-    StageCompleted { job: JobId },
-    CpuDone { node: usize, generation: u64 },
-    ServerDone { server: usize, job: JobId },
-    PauseEnd { server: usize },
+    StageCompleted {
+        job: JobId,
+    },
+    CpuDone {
+        node: usize,
+        generation: u64,
+    },
+    ServerDone {
+        server: usize,
+        job: JobId,
+    },
+    PauseEnd {
+        server: usize,
+    },
     Sample,
     ModelTimer,
-    HogStart { node: usize, job: JobId, weight: f64 },
-    HogEnd { node: usize, job: JobId },
-    LoadTick { idx: usize },
+    HogStart {
+        node: usize,
+        job: JobId,
+        weight: f64,
+    },
+    HogEnd {
+        node: usize,
+        job: JobId,
+    },
+    LoadTick {
+        idx: usize,
+    },
 }
 
 struct WState {
@@ -279,7 +298,9 @@ pub fn run_sim(
         .iter()
         .map(|s| Semaphore::new(s.permits))
         .collect();
-    let mut cpus: Vec<PsResource> = (0..nodes).map(|_| PsResource::new(config.node_cores)).collect();
+    let mut cpus: Vec<PsResource> = (0..nodes)
+        .map(|_| PsResource::new(config.node_cores))
+        .collect();
     let mut rng = DetRng::new(config.seed);
     let mut sched: Scheduler<Ev> = Scheduler::new();
     let deadline = config.duration.map(|d| SimTime::ZERO + d);
@@ -853,10 +874,7 @@ mod tests {
         let (hog0, hog1) = run(true);
         assert!(hog0 > clean0, "hogged node slower: {clean0} → {hog0}");
         let slowdown1 = hog1.as_secs_f64() / clean1.as_secs_f64();
-        assert!(
-            slowdown1 < 1.5,
-            "other node barely affected: {slowdown1}"
-        );
+        assert!(slowdown1 < 1.5, "other node barely affected: {slowdown1}");
     }
 
     #[test]

@@ -116,7 +116,8 @@ pub fn run_threads(
     let n = streams.len();
     let counters: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
     let errors: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
-    let finished: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(u64::MAX))).collect();
+    let finished: Vec<Arc<AtomicU64>> =
+        (0..n).map(|_| Arc::new(AtomicU64::new(u64::MAX))).collect();
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(n + 1));
     let mut fs_name = String::new();
@@ -261,8 +262,12 @@ mod tests {
                 path: "/d/f".into(),
                 data_bytes: 10,
             },
-            MetaOp::Stat { path: "/d/f".into() },
-            MetaOp::OpenClose { path: "/d/f".into() },
+            MetaOp::Stat {
+                path: "/d/f".into(),
+            },
+            MetaOp::OpenClose {
+                path: "/d/f".into(),
+            },
             MetaOp::Readdir { path: "/d".into() },
             MetaOp::Chmod {
                 path: "/d/f".into(),
@@ -442,6 +447,9 @@ mod tests {
         assert!(res.workers[0].finished_at.is_some());
         assert!(res.total_ops() > 0);
         let wall = res.wall_time.as_secs_f64();
-        assert!(wall >= 0.25 && wall < 5.0, "stopped near the bound: {wall}");
+        assert!(
+            (0.25..5.0).contains(&wall),
+            "stopped near the bound: {wall}"
+        );
     }
 }

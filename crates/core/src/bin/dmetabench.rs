@@ -10,7 +10,7 @@
 
 use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
 use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
-use dmetabench::{all_plugin_names, BenchParams, Runner};
+use dmetabench::{all_plugin_names, baseline, suite, BenchParams, Runner};
 use simcore::SimDuration;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +20,14 @@ dmetabench — distributed metadata benchmark (Rust reproduction)
 
 USAGE:
   dmetabench [OPTIONS]
+  dmetabench suite [SUITE OPTIONS]    run the experiment shape-regression suite
+
+SUITE OPTIONS:
+  --filter <SUBSTR>          only scenarios whose id contains SUBSTR
+  --jobs <N>                 worker threads          [default: available cores]
+  --bless                    rewrite baselines/*.json from this run
+  --emit-md <PATH>           regenerate EXPERIMENTS.md at PATH
+  --list                     list registered scenarios and exit
 
 OPTIONS:
   --mode <sim|real>          execution mode               [default: sim]
@@ -146,9 +154,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
     }
     for op in &cli.params.operations {
         if dmetabench::plugin_by_name(op).is_none() {
-            return Err(format!(
-                "unknown operation '{op}' (try --list-operations)"
-            ));
+            return Err(format!("unknown operation '{op}' (try --list-operations)"));
         }
     }
     Ok(Some(cli))
@@ -167,7 +173,188 @@ fn model_factory(fs: &str) -> Result<Box<dyn Fn() -> Box<dyn DistFs>>, String> {
     Ok(f)
 }
 
+struct SuiteCli {
+    filter: Option<String>,
+    jobs: usize,
+    bless: bool,
+    emit_md: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_suite_args(args: &[String]) -> Result<Option<SuiteCli>, String> {
+    let mut cli = SuiteCli {
+        filter: None,
+        jobs: suite::default_jobs(),
+        bless: false,
+        emit_md: None,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--filter" => cli.filter = Some(value("--filter")?),
+            "--jobs" => {
+                cli.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if cli.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--bless" => cli.bless = true,
+            "--emit-md" => cli.emit_md = Some(PathBuf::from(value("--emit-md")?)),
+            "--list" => cli.list = true,
+            other => return Err(format!("unknown suite option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(cli))
+}
+
+fn suite_main(args: &[String]) -> ExitCode {
+    let cli = match parse_suite_args(args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios: Vec<&'static suite::Scenario> = suite::registry()
+        .iter()
+        .filter(|s| {
+            cli.filter
+                .as_deref()
+                .map(|f| s.id.contains(f))
+                .unwrap_or(true)
+        })
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!(
+            "error: no scenario id contains '{}'",
+            cli.filter.as_deref().unwrap_or("")
+        );
+        return ExitCode::FAILURE;
+    }
+    if cli.list {
+        for s in &scenarios {
+            println!(
+                "{:24} {:10} {:8} {}",
+                s.id,
+                s.paper_ref,
+                if s.deterministic { "sim" } else { "wallclock" },
+                s.title
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "running {} scenario(s) on {} thread(s)...",
+        scenarios.len(),
+        cli.jobs
+    );
+    let run = suite::run_suite(&scenarios, cli.jobs);
+
+    let mut failures = 0usize;
+    for result in &run.results {
+        let s = result.scenario;
+        let status = match &result.outcome {
+            Err(msg) => {
+                failures += 1;
+                format!("PANIC    {msg}")
+            }
+            Ok(output) => {
+                for a in &output.artifacts {
+                    let path = suite::out_dir().join(&a.name);
+                    if let Err(e) = std::fs::write(&path, &a.content) {
+                        eprintln!("warning: cannot write {}: {e}", path.display());
+                    }
+                }
+                let failed_checks = output.report.checks.iter().filter(|c| !c.passed).count();
+                if failed_checks > 0 {
+                    failures += 1;
+                    format!("CHECKS   {failed_checks} shape check(s) failed")
+                } else if cli.bless {
+                    match baseline::save(&output.report) {
+                        Ok(path) => format!("BLESSED  {}", path.display()),
+                        Err(e) => {
+                            failures += 1;
+                            format!("ERROR    cannot write baseline: {e}")
+                        }
+                    }
+                } else {
+                    match baseline::load(s.id) {
+                        Err(e) => {
+                            failures += 1;
+                            format!("ERROR    cannot read baseline: {e}")
+                        }
+                        Ok(None) => {
+                            failures += 1;
+                            "MISSING  no baseline (run with --bless)".to_owned()
+                        }
+                        Ok(Some(expected)) => match baseline::compare(&expected, &output.report) {
+                            baseline::BaselineStatus::Match => "ok".to_owned(),
+                            status => {
+                                failures += 1;
+                                let mut msg = "MISMATCH".to_owned();
+                                if let baseline::BaselineStatus::Mismatch(reasons) = status {
+                                    for r in reasons {
+                                        msg.push_str(&format!("\n           - {r}"));
+                                    }
+                                }
+                                msg
+                            }
+                        },
+                    }
+                }
+            }
+        };
+        println!("{:24} {:>7.2}s  {status}", s.id, result.wall_secs);
+    }
+    println!(
+        "\n{} scenario(s) in {:.2}s wall ({:.2}s serial, {:.2}x speedup on {} thread(s)); {} failure(s)",
+        run.results.len(),
+        run.wall_secs,
+        run.serial_secs(),
+        run.serial_secs() / run.wall_secs.max(1e-9),
+        cli.jobs,
+        failures
+    );
+
+    if let Some(path) = &cli.emit_md {
+        if cli.filter.is_some() {
+            eprintln!("warning: --emit-md with --filter writes a partial EXPERIMENTS.md");
+        }
+        match std::fs::write(path, suite::emit_markdown(&run)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("suite") {
+        return suite_main(&argv[1..]);
+    }
     let cli = match parse_args() {
         Ok(Some(cli)) => cli,
         Ok(None) => return ExitCode::SUCCESS,

@@ -86,11 +86,9 @@ pub fn ascii_chart(
         out.push('\n');
     }
     out.push('+');
-    out.extend(std::iter::repeat('-').take(width));
+    out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
-    out.push_str(&format!(
-        "{xlabel}: {xmin:.2} .. {xmax:.2}\n"
-    ));
+    out.push_str(&format!("{xlabel}: {xmin:.2} .. {xmax:.2}\n"));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.label));
     }
@@ -111,7 +109,9 @@ pub fn svg_chart(
     let (ml, mr, mt, mb) = (60.0, 20.0, 30.0, 45.0);
     let px = |x: f64| ml + (x - xmin) / (xmax - xmin) * (w - ml - mr);
     let py = |y: f64| h - mb - (y - ymin) / (ymax - ymin) * (h - mt - mb);
-    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let colors = [
+        "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+    ];
     let mut svg = format!(
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">
 <rect width="{w}" height="{h}" fill="white"/>
@@ -219,10 +219,7 @@ pub fn time_chart(pre: &Preprocessed) -> String {
             .map(|r| (r.timestamp, r.throughput))
             .collect(),
     );
-    let title = format!(
-        "{} — {} nodes × {} ppn",
-        pre.operation, pre.nodes, pre.ppn
-    );
+    let title = format!("{} — {} nodes × {} ppn", pre.operation, pre.nodes, pre.ppn);
     let mut out = String::new();
     out.push_str(&ascii_chart(
         &title,
@@ -258,7 +255,14 @@ pub fn svg_time_chart(pre: &Preprocessed) -> String {
             .map(|r| (r.timestamp, r.throughput))
             .collect(),
     );
-    let p1 = svg_chart(&title, "time [s]", "Operations Completed", &[completed], 640, 220);
+    let p1 = svg_chart(
+        &title,
+        "time [s]",
+        "Operations Completed",
+        &[completed],
+        640,
+        220,
+    );
     let p2 = svg_chart("", "time [s]", "COV", &[cov], 640, 160);
     let p3 = svg_chart("", "time [s]", "Operations/s", &[tp], 640, 220);
     // stack by wrapping into one outer SVG

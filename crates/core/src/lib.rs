@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod chart;
 mod params;
 mod plugin;
@@ -57,6 +58,8 @@ mod profile;
 mod result;
 mod runner;
 pub mod scaling;
+pub mod scenarios;
+pub mod suite;
 pub mod trace;
 
 pub use params::{BenchParams, WorkerCtx};

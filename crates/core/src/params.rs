@@ -98,9 +98,7 @@ impl WorkerCtx {
                 // peer: same proc slot on the next participating node
                 let peer_index = workers
                     .iter()
-                    .position(|&(pn, pp)| {
-                        pp == proc && pn == (node + 1) % nodes_in_run.max(1)
-                    })
+                    .position(|&(pn, pp)| pp == proc && pn == (node + 1) % nodes_in_run.max(1))
                     .unwrap_or(index);
                 WorkerCtx {
                     index,
@@ -136,11 +134,7 @@ mod tests {
     #[test]
     fn path_list_matched_in_worker_order() {
         let mut params = BenchParams::default();
-        params.path_list = Some(vec![
-            "/vol0/a".into(),
-            "/vol1/b".into(),
-            "/vol2/c".into(),
-        ]);
+        params.path_list = Some(vec!["/vol0/a".into(), "/vol1/b".into(), "/vol2/c".into()]);
         let workers = vec![(0, 0), (1, 0), (0, 1)];
         let ctxs = WorkerCtx::build(&workers, &params, 2);
         assert_eq!(ctxs[0].workdir, "/vol0/a");

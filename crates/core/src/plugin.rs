@@ -524,14 +524,7 @@ mod tests {
         let mut s64 = MakeFiles64byte.stream(&c);
         let mut s65 = MakeFiles65byte.stream(&c);
         match (s64(0).unwrap(), s65(0).unwrap()) {
-            (
-                MetaOp::Create {
-                    data_bytes: 64, ..
-                },
-                MetaOp::Create {
-                    data_bytes: 65, ..
-                },
-            ) => {}
+            (MetaOp::Create { data_bytes: 64, .. }, MetaOp::Create { data_bytes: 65, .. }) => {}
             other => panic!("wrong payloads: {other:?}"),
         }
     }

@@ -114,8 +114,7 @@ pub fn preprocess(rs: &ResultSet, fixed_ns: &[u64]) -> Preprocessed {
                 .collect();
             let mean = deltas.iter().sum::<f64>() / nproc as f64;
             let stddev = if nproc > 1 {
-                (deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (nproc - 1) as f64)
-                    .sqrt()
+                (deltas.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (nproc - 1) as f64).sqrt()
             } else {
                 0.0
             };

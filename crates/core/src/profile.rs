@@ -39,14 +39,12 @@ impl EnvironmentProfile {
         let kernel = std::fs::read_to_string("/proc/version")
             .map(|s| s.trim().to_owned())
             .unwrap_or_else(|_| "unknown".to_owned());
-        let memory_kb = std::fs::read_to_string("/proc/meminfo")
-            .ok()
-            .and_then(|s| {
-                s.lines()
-                    .find(|l| l.starts_with("MemTotal:"))
-                    .and_then(|l| l.split_whitespace().nth(1))
-                    .and_then(|v| v.parse().ok())
-            });
+        let memory_kb = std::fs::read_to_string("/proc/meminfo").ok().and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("MemTotal:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        });
         let loadavg_1m = std::fs::read_to_string("/proc/loadavg")
             .ok()
             .and_then(|s| s.split_whitespace().next().and_then(|v| v.parse().ok()));

@@ -44,12 +44,7 @@ pub struct ResultSet {
 
 impl ResultSet {
     /// Build a result set from an engine run.
-    pub fn from_run(
-        operation: &str,
-        nodes: usize,
-        ppn: usize,
-        run: &SimRunResult,
-    ) -> ResultSet {
+    pub fn from_run(operation: &str, nodes: usize, ppn: usize, run: &SimRunResult) -> ResultSet {
         ResultSet {
             operation: operation.to_owned(),
             fs_name: run.fs_name.clone(),
@@ -185,7 +180,8 @@ impl ResultSet {
         }
         // Infer the sampling interval as the most frequent timestamp step —
         // completion samples land off-grid and must not shrink the grid.
-        let mut step_counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        let mut step_counts: std::collections::BTreeMap<u64, usize> =
+            std::collections::BTreeMap::new();
         for p in &mut procs {
             p.samples
                 .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("timestamps are finite"));

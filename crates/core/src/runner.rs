@@ -54,9 +54,8 @@ pub struct Campaign {
 impl Campaign {
     /// The summary TSV across all iterations (one listing-3.5 line each).
     pub fn summary_tsv(&self) -> String {
-        let mut out = String::from(
-            "Operation\tNodes\tPPN\tProcesses\tStonewallOpsPerSec\tFixedNAverages\n",
-        );
+        let mut out =
+            String::from("Operation\tNodes\tPPN\tProcesses\tStonewallOpsPerSec\tFixedNAverages\n");
         for r in &self.results {
             out.push_str(&r.pre.summary_tsv());
         }
@@ -154,7 +153,8 @@ impl Runner {
         for spec in &plan {
             for plugin in &plugins {
                 let mut model = model_factory();
-                let run = self.run_one_sim(placement, spec, plugin.as_ref(), &mut model, sim_config);
+                let run =
+                    self.run_one_sim(placement, spec, plugin.as_ref(), &mut model, sim_config);
                 let rs = ResultSet::from_run(plugin.name(), spec.nodes, spec.ppn, &run);
                 let pre = preprocess(&rs, &self.fixed_ns);
                 results.push(BenchResult {
@@ -353,12 +353,7 @@ impl Runner {
             .results
             .iter()
             .filter(|r| r.operation == operation)
-            .map(|r| {
-                (
-                    r.result_set.total_processes() as f64,
-                    r.pre.stonewall_avg,
-                )
-            })
+            .map(|r| (r.result_set.total_processes() as f64, r.pre.stonewall_avg))
             .collect();
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         pts
@@ -423,12 +418,7 @@ pub fn run_single(
 pub fn apply_ops_to_model(model: &mut dyn DistFs, node: usize, ops: &[MetaOp], seed: u64) {
     let mut rng = DetRng::new(seed);
     for op in ops {
-        let _ = model.plan(
-            ClientCtx { node, proc: 0 },
-            op,
-            SimTime::ZERO,
-            &mut rng,
-        );
+        let _ = model.plan(ClientCtx { node, proc: 0 }, op, SimTime::ZERO, &mut rng);
     }
 }
 
@@ -463,7 +453,13 @@ mod tests {
         // plan: ppn 1 → nodes 1..3; ppn 2 → nodes 1..2  = 5 combos × 2 ops
         assert_eq!(campaign.results.len(), 10);
         for r in &campaign.results {
-            assert!(r.result_set.total_ops() > 0, "{}/{}x{}", r.operation, r.nodes, r.ppn);
+            assert!(
+                r.result_set.total_ops() > 0,
+                "{}/{}x{}",
+                r.operation,
+                r.nodes,
+                r.ppn
+            );
             assert!(r.pre.stonewall_avg > 0.0);
         }
         // MakeFiles throughput grows from 1 to 3 nodes
@@ -538,7 +534,14 @@ mod tests {
     fn run_single_produces_consistent_result() {
         let params = quick_params(&["MakeFiles"]);
         let mut model: Box<dyn DistFs> = Box::new(NfsFs::with_defaults());
-        let (rs, pre) = run_single(&params, "MakeFiles", 2, 2, &mut model, &SimConfig::default());
+        let (rs, pre) = run_single(
+            &params,
+            "MakeFiles",
+            2,
+            2,
+            &mut model,
+            &SimConfig::default(),
+        );
         assert_eq!(rs.total_processes(), 4);
         assert!(pre.stonewall_avg > 0.0);
         assert_eq!(pre.nodes, 2);

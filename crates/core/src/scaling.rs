@@ -45,7 +45,10 @@ pub fn scaling_table_text(n: u64, process_counts: &[u64]) -> String {
     for row in scaling_table(n, process_counts) {
         out.push_str(&format!(
             "{:>9} | {:>17} | {:>11} | {:>12} | {:>11}\n",
-            row.processes, row.iso_total, row.iso_per_process, row.strong_total,
+            row.processes,
+            row.iso_total,
+            row.iso_per_process,
+            row.strong_total,
             row.strong_per_process
         ));
     }

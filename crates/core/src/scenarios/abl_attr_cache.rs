@@ -1,0 +1,84 @@
+//! ABLATION — attribute-cache TTL (the `acregmin` knob behind NFS
+//! close-to-open semantics, paper §2.6.1 / §5.2.1).
+//!
+//! A create+stat application workload (each file is created once and stated
+//! four times, like a build system probing its outputs) under attribute
+//! cache TTLs from 0 (no caching — PVFS-like) to 30 s. Expected shape:
+//! throughput grows steeply from TTL 0 to a TTL that covers the re-stat
+//! distance, then saturates — revalidation traffic is the cost of freshness
+//! (§2.6.3 "Visibility of changes").
+
+use crate::suite::{fmt_ops, fmt_x, node_names, ExpTable, ReportBuilder};
+use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
+use dfs::{MetaOp, NfsConfig, NfsFs};
+use simcore::SimDuration;
+
+fn throughput_with_ttl(ttl_ms: u64) -> f64 {
+    let mut cfg = NfsConfig::default();
+    cfg.attr_ttl = SimDuration::from_millis(ttl_ms);
+    let mut model = NfsFs::new(cfg);
+    let workers = vec![WorkerSpec::new(0, 0), WorkerSpec::new(0, 1)];
+    let streams: Vec<Box<dyn OpStream>> = workers
+        .iter()
+        .map(|w| {
+            let dir = format!("/bench/p{}", w.proc);
+            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
+                let file = i / 5;
+                if i.is_multiple_of(5) {
+                    Some(MetaOp::Create {
+                        path: format!("{dir}/f{file}"),
+                        data_bytes: 0,
+                    })
+                } else {
+                    Some(MetaOp::Stat {
+                        path: format!("{dir}/f{file}"),
+                    })
+                }
+            });
+            s
+        })
+        .collect();
+    let mut sim = SimConfig::default();
+    sim.duration = Some(SimDuration::from_secs(20));
+    let res = run_sim(&mut model, &node_names(1), workers, streams, &sim);
+    res.stonewall_ops_per_sec()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let ttls_ms = [0u64, 10, 100, 1_000, 3_000, 30_000];
+    let mut t = ExpTable::new(
+        "Ablation — NFS attribute-cache TTL on a create+4×stat workload",
+        &["attr TTL [ms]", "ops/s", "vs no cache"],
+    );
+    let mut rates = Vec::new();
+    for &ttl in &ttls_ms {
+        let r = throughput_with_ttl(ttl);
+        rates.push(r);
+        t.row(vec![ttl.to_string(), fmt_ops(r), fmt_x(r / rates[0])]);
+    }
+    b.table(t);
+
+    let saturation = rates[5] / rates[4];
+    b.metric_tol("no_cache_ops", rates[0], 1e-6);
+    b.metric_tol("ttl_1s_ops", rates[3], 1e-6);
+    b.metric_tol("ttl_30s_ops", rates[5], 1e-6);
+    b.metric_tol("saturation_ratio_30s_over_3s", saturation, 1e-6);
+
+    b.check(
+        "1s_ttl_converts_most_stats_into_hits",
+        rates[3] > rates[0] * 2.5,
+        format!("{} vs {}", rates[3], rates[0]),
+    );
+    b.check(
+        "beyond_restat_distance_ttl_stops_helping",
+        saturation < 1.15,
+        format!("{saturation:.2}"),
+    );
+    b.summary(format!(
+        "TTL 0 → {} ops/s; 1 s TTL → {} ({:.2}×); flattens beyond the re-stat distance ({:.2}× from 3 s to 30 s)",
+        fmt_ops(rates[0]),
+        fmt_ops(rates[3]),
+        rates[3] / rates[0],
+        saturation
+    ));
+}

@@ -1,0 +1,80 @@
+//! ABLATION — NVRAM on the file server (paper §2.6.4 / §3.1.4 footnote:
+//! "Network Appliance sells NFS server appliances using a non-volatile
+//! memory cache that reduces latency for NFS writes").
+//!
+//! NFSv3 requires metadata mutations to be persistent before the reply.
+//! With NVRAM the commit is a memory write (cheap); without it every create
+//! pays a disk-journal write inside its service time. Expected shape: the
+//! no-NVRAM filer loses both per-op latency and saturation throughput, and
+//! the gap grows with client count because the journal serializes.
+
+use crate::suite::{fmt_ops, fmt_x, run_makefiles, ExpTable, ReportBuilder};
+use cluster::SimConfig;
+use dfs::{NfsConfig, NfsFs, ServiceCostModel};
+use simcore::SimDuration;
+
+fn filer(nvram: bool) -> NfsFs {
+    let mut cfg = NfsConfig::default();
+    if !nvram {
+        cfg.cost = ServiceCostModel {
+            // commit straight to the journal disk: ~1 ms extra per mutation
+            base: cfg.cost.base + SimDuration::from_micros(1_000),
+            ..cfg.cost
+        };
+        // and the on-disk journal admits fewer concurrent writers
+        cfg.server_parallelism = 2;
+    }
+    NfsFs::new(cfg)
+}
+
+fn throughput(nvram: bool, nodes: usize) -> f64 {
+    let mut model = filer(nvram);
+    let mut sim = SimConfig::default();
+    sim.duration = Some(SimDuration::from_secs(20));
+    let res = run_makefiles(&mut model, nodes, 1, &sim);
+    res.stonewall_ops_per_sec()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let nodes_list = [1usize, 4, 8, 16];
+    let mut t = ExpTable::new(
+        "Ablation — file creation with and without server NVRAM [ops/s]",
+        &[
+            "nodes",
+            "NVRAM filer",
+            "disk-journal filer",
+            "NVRAM advantage",
+        ],
+    );
+    let mut gaps = Vec::new();
+    for &n in &nodes_list {
+        let with = throughput(true, n);
+        let without = throughput(false, n);
+        gaps.push(with / without);
+        t.row(vec![
+            n.to_string(),
+            fmt_ops(with),
+            fmt_ops(without),
+            fmt_x(with / without),
+        ]);
+    }
+    b.table(t);
+
+    b.metric_tol("gap_1_node", gaps[0], 1e-6);
+    b.metric_tol("gap_16_nodes", gaps[3], 1e-6);
+
+    b.check(
+        "one_client_already_feels_the_journal",
+        gaps[0] > 1.5,
+        format!("{:.2}x", gaps[0]),
+    );
+    b.check(
+        "gap_widens_as_clients_queue_on_journal",
+        gaps[3] > gaps[0],
+        format!("{:.2}x → {:.2}x", gaps[0], gaps[3]),
+    );
+    b.summary(format!(
+        "NVRAM advantage grows from {:.2}× at 1 node to {:.2}× at 16 nodes",
+        gaps[0], gaps[3]
+    ));
+}

@@ -1,0 +1,148 @@
+//! EXP-4.3.2 — File creation: NFS vs. Lustre in a cluster (paper §4.3.2).
+//!
+//! MakeFiles (60 virtual seconds) across 1–20 nodes at 1 and 4 processes
+//! per node. Shapes to reproduce from the paper's comparison:
+//!
+//! * the NVRAM-backed NFS filer wins at low client counts (cheap commits,
+//!   lighter client stack),
+//! * NFS saturates as the filer's service slots fill; adding processes per
+//!   node keeps helping until then,
+//! * Lustre's per-node modifying-RPC serialization makes extra processes
+//!   per node useless (1 ppn ≈ 4 ppn), but it scales with *nodes* until the
+//!   MDS saturates.
+
+use crate::chart;
+use crate::suite::{fmt_ops, makefiles_throughput, ExpTable, ReportBuilder};
+use cluster::SimConfig;
+use dfs::{DistFs, LustreFs, NfsFs};
+use simcore::SimDuration;
+
+fn sweep(factory: impl Fn() -> Box<dyn DistFs>, ppn: usize, nodes_list: &[usize]) -> Vec<f64> {
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(60));
+    nodes_list
+        .iter()
+        .map(|&n| makefiles_throughput(factory(), n, ppn, &cfg))
+        .collect()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let nodes_list = [1usize, 2, 4, 8, 12, 16, 20];
+    let nfs1 = sweep(|| Box::new(NfsFs::with_defaults()), 1, &nodes_list);
+    let nfs4 = sweep(|| Box::new(NfsFs::with_defaults()), 4, &nodes_list);
+    let lus1 = sweep(|| Box::new(LustreFs::with_defaults()), 1, &nodes_list);
+    let lus4 = sweep(|| Box::new(LustreFs::with_defaults()), 4, &nodes_list);
+
+    let mut t = ExpTable::new(
+        "§4.3.2 — MakeFiles creation throughput [ops/s], 60 s runs",
+        &[
+            "nodes",
+            "NFS 1 ppn",
+            "NFS 4 ppn",
+            "Lustre 1 ppn",
+            "Lustre 4 ppn",
+        ],
+    );
+    for (i, &n) in nodes_list.iter().enumerate() {
+        t.row(vec![
+            n.to_string(),
+            fmt_ops(nfs1[i]),
+            fmt_ops(nfs4[i]),
+            fmt_ops(lus1[i]),
+            fmt_ops(lus4[i]),
+        ]);
+    }
+    b.table(t);
+
+    let series = vec![
+        chart::Series::new(
+            "NFS 1 ppn",
+            nodes_list
+                .iter()
+                .zip(&nfs1)
+                .map(|(&n, &y)| (n as f64, y))
+                .collect(),
+        ),
+        chart::Series::new(
+            "NFS 4 ppn",
+            nodes_list
+                .iter()
+                .zip(&nfs4)
+                .map(|(&n, &y)| (n as f64, y))
+                .collect(),
+        ),
+        chart::Series::new(
+            "Lustre 1 ppn",
+            nodes_list
+                .iter()
+                .zip(&lus1)
+                .map(|(&n, &y)| (n as f64, y))
+                .collect(),
+        ),
+        chart::Series::new(
+            "Lustre 4 ppn",
+            nodes_list
+                .iter()
+                .zip(&lus4)
+                .map(|(&n, &y)| (n as f64, y))
+                .collect(),
+        ),
+    ];
+    b.note(chart::nodes_chart(&series));
+    b.artifact(
+        "exp_4_3_filecreation.svg",
+        chart::svg_chart(
+            "File creation: NFS vs Lustre",
+            "nodes",
+            "ops/s",
+            &series,
+            720,
+            480,
+        ),
+    );
+
+    // saturation points / plateau ratios — the shape the paper argues from
+    b.metric_tol("nfs1_1node", nfs1[0], 1e-6);
+    b.metric_tol("lus1_1node", lus1[0], 1e-6);
+    b.metric_tol("nfs4_20nodes", nfs4[6], 1e-6);
+    b.metric_tol("lus1_20nodes", lus1[6], 1e-6);
+    let lus_intra = lus4[2] / lus1[2];
+    let nfs_sat = nfs4[6] / nfs4[3];
+    b.metric_tol("lustre_intra_node_factor", lus_intra, 1e-6);
+    b.metric_tol("nfs_saturation_factor_8_to_20_nodes", nfs_sat, 1e-6);
+
+    b.check(
+        "nfs_wins_single_client",
+        nfs1[0] > lus1[0] * 1.5,
+        format!("{} vs {}", nfs1[0], lus1[0]),
+    );
+    b.check(
+        "ppn_helps_nfs_before_saturation",
+        nfs4[1] > nfs1[1] * 2.0,
+        format!("{} vs {}", nfs4[1], nfs1[1]),
+    );
+    b.check(
+        "lustre_modify_lock_makes_ppn_useless",
+        lus_intra < 1.3,
+        format!("4 ppn / 1 ppn factor {lus_intra:.2}"),
+    );
+    b.check(
+        "lustre_scales_across_nodes",
+        lus1[6] > lus1[0] * 4.0,
+        format!("{} → {}", lus1[0], lus1[6]),
+    );
+    b.check(
+        "nfs_filer_saturates",
+        nfs_sat < 1.4,
+        format!("{nfs_sat:.2}x from 8→20 nodes at 4 ppn"),
+    );
+    b.summary(format!(
+        "NFS: {} ops/s @1 node → saturates ≈{} from 8×4; Lustre: {} @1 → {} plateau; 4 ppn ≡ 1 ppn for Lustre ({:.2}×) while NFS gains {:.0}×",
+        fmt_ops(nfs1[0]),
+        fmt_ops(nfs4[6]),
+        fmt_ops(lus1[0]),
+        fmt_ops(lus1[6]),
+        lus_intra,
+        nfs4[1] / nfs1[1]
+    ));
+}

@@ -1,0 +1,163 @@
+//! EXP-4.4 — Priority scheduling and metadata performance (paper §4.4).
+//!
+//! Benchmark processes with different CPU scheduling priorities (`nice`
+//! weights) compete on one node. Shapes to reproduce:
+//!
+//! * when the operation is CPU-cheap and network-bound (plain NFS
+//!   metadata), priorities barely matter — the processes spend their time
+//!   waiting on RPCs, not the CPU;
+//! * when CPU is contended (a compute-loaded node, as on the LRZ serial
+//!   pool), higher-priority processes complete metadata work measurably
+//!   faster, and a CPU hog degrades a low-priority benchmark much more
+//!   than a high-priority one.
+
+use crate::suite::{fmt_ops, fmt_x, node_names, ExpTable, ReportBuilder};
+use cluster::{run_sim, Disturbance, OpStream, SimConfig, WorkerSpec};
+use dfs::{DistFs, MetaOp, NfsFs};
+use simcore::SimTime;
+
+fn fixed_create_streams(workers: &[WorkerSpec], count: u64) -> Vec<Box<dyn OpStream>> {
+    workers
+        .iter()
+        .map(|w| {
+            let dir = format!("/bench/n{}p{}", w.node, w.proc);
+            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
+                if i < count {
+                    Some(MetaOp::Create {
+                        path: format!("{dir}/f{i}"),
+                        data_bytes: 0,
+                    })
+                } else {
+                    None
+                }
+            });
+            s
+        })
+        .collect()
+}
+
+/// Run 4 workers with given weights on one single-core node; return each
+/// worker's completion time in seconds.
+fn run_with_weights(weights: [f64; 4], hog: bool) -> Vec<f64> {
+    let mut model: Box<dyn DistFs> = Box::new(NfsFs::with_defaults());
+    let workers: Vec<WorkerSpec> = weights
+        .iter()
+        .enumerate()
+        .map(|(p, &w)| WorkerSpec {
+            node: 0,
+            proc: p,
+            cpu_weight: w,
+        })
+        .collect();
+    let streams = fixed_create_streams(&workers, 5_000);
+    let mut cfg = SimConfig::default();
+    cfg.node_cores = 1;
+    if hog {
+        cfg.disturbances.push(Disturbance::CpuHog {
+            node: 0,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(3_600),
+            weight: 4.0,
+        });
+    }
+    let res = run_sim(model.as_mut(), &node_names(1), workers, streams, &cfg);
+    res.workers
+        .iter()
+        .map(|w| w.finished_at.expect("fixed run completes").as_secs_f64())
+        .collect()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    // equal priorities, idle node: everyone finishes together
+    let equal = run_with_weights([1.0, 1.0, 1.0, 1.0], false);
+    // nice spread on an idle node: network-bound, so little difference
+    let spread_idle = run_with_weights([4.0, 1.0, 1.0, 0.25], false);
+    // nice spread on a compute-loaded node: CPU becomes contended
+    let spread_hog = run_with_weights([4.0, 1.0, 1.0, 0.25], true);
+
+    let mut t = ExpTable::new(
+        "§4.4 — 4 creating processes on one node, 5 000 creates each: completion time [s]",
+        &[
+            "scenario",
+            "prio +4 (p0)",
+            "normal (p1)",
+            "normal (p2)",
+            "nice -0.25 (p3)",
+        ],
+    );
+    let fmt = |v: &[f64]| v.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>();
+    let e = fmt(&equal);
+    t.row(vec![
+        "equal priorities, idle node".into(),
+        e[0].clone(),
+        e[1].clone(),
+        e[2].clone(),
+        e[3].clone(),
+    ]);
+    let s = fmt(&spread_idle);
+    t.row(vec![
+        "priority spread, idle node".into(),
+        s[0].clone(),
+        s[1].clone(),
+        s[2].clone(),
+        s[3].clone(),
+    ]);
+    let h = fmt(&spread_hog);
+    t.row(vec![
+        "priority spread, CPU-loaded node".into(),
+        h[0].clone(),
+        h[1].clone(),
+        h[2].clone(),
+        h[3].clone(),
+    ]);
+    b.table(t);
+
+    let mut t2 = ExpTable::new(
+        "§4.4 — effective throughput of the prioritized vs niced process",
+        &["scenario", "high-prio ops/s", "low-prio ops/s", "ratio"],
+    );
+    for (label, v) in [("idle node", &spread_idle), ("loaded node", &spread_hog)] {
+        t2.row(vec![
+            label.into(),
+            fmt_ops(5_000.0 / v[0]),
+            fmt_ops(5_000.0 / v[3]),
+            fmt_x(v[3] / v[0]),
+        ]);
+    }
+    b.table(t2);
+
+    let equal_spread = equal.iter().fold(0.0f64, |a, &b| a.max(b))
+        / equal.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let idle_ratio = spread_idle[3] / spread_idle[0];
+    let hog_ratio = spread_hog[3] / spread_hog[0];
+    b.metric_tol("equal_priority_spread", equal_spread, 1e-6);
+    b.metric_tol("idle_low_over_high_ratio", idle_ratio, 1e-6);
+    b.metric_tol("hog_low_over_high_ratio", hog_ratio, 1e-6);
+    b.metric_tol("hog_high_prio_completion_s", spread_hog[0], 1e-6);
+    b.metric_tol("hog_low_prio_completion_s", spread_hog[3], 1e-6);
+
+    b.check(
+        "equal_priorities_finish_together",
+        equal_spread < 1.05,
+        format!("max/min completion {equal_spread:.3}"),
+    );
+    b.check(
+        "network_bound_run_barely_priority_sensitive",
+        idle_ratio < 1.6,
+        format!("{idle_ratio:.2}"),
+    );
+    b.check(
+        "cpu_contention_amplifies_priority",
+        hog_ratio > idle_ratio * 1.2,
+        format!("{idle_ratio:.2} → {hog_ratio:.2}"),
+    );
+    b.check(
+        "prioritized_process_finishes_first_under_load",
+        spread_hog[0] < spread_hog[3],
+        format!("{:.2} s vs {:.2} s", spread_hog[0], spread_hog[3]),
+    );
+    b.summary(format!(
+        "idle node: prio spread changes completion times by {:.2}×; CPU-loaded node: niced process takes {:.2}× the prioritized one's time ({:.2} s vs {:.2} s)",
+        idle_ratio, hog_ratio, spread_hog[0], spread_hog[3]
+    ));
+}

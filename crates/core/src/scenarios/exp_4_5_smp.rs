@@ -1,0 +1,133 @@
+//! EXP-4.5 — Intra-node scalability on SMP systems (paper §4.5).
+//!
+//! File creation with 1–32 processes on a single (large-)SMP node,
+//! comparing the local file system, NFS and CXFS. Shapes to reproduce from
+//! the paper's small-SMP and HLRB 2 measurements (§4.5.2–4.5.3):
+//!
+//! * the local file system scales with processes until kernel-side
+//!   parallelism runs out,
+//! * NFS scales intra-node too — the client issues concurrent RPCs and the
+//!   filer has parallel service slots,
+//! * CXFS stays flat: the client's token manager serializes all metadata
+//!   traffic of the OS instance, so 32 processes ≈ 1 process.
+
+use crate::chart;
+use crate::suite::{fmt_ops, fmt_x, makefiles_throughput, ExpTable, ReportBuilder};
+use cluster::SimConfig;
+use dfs::{CxfsFs, DistFs, LocalFs, NfsFs, PvfsFs};
+use simcore::SimDuration;
+
+fn sweep(factory: impl Fn() -> Box<dyn DistFs>, ppns: &[usize]) -> Vec<f64> {
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(1));
+    cfg.node_cores = 64; // a large SMP partition
+    ppns.iter()
+        .map(|&p| makefiles_throughput(factory(), 1, p, &cfg))
+        .collect()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let ppns = [1usize, 2, 4, 8, 16, 32];
+    let local = sweep(|| Box::new(LocalFs::with_defaults()), &ppns);
+    let nfs = sweep(|| Box::new(NfsFs::with_defaults()), &ppns);
+    let cxfs = sweep(|| Box::new(CxfsFs::with_defaults()), &ppns);
+    let pvfs = sweep(|| Box::new(PvfsFs::with_defaults()), &ppns);
+
+    let mut t = ExpTable::new(
+        "§4.5 — file creation on one SMP node [ops/s]",
+        &["processes", "local fs", "NFS", "CXFS", "PVFS2"],
+    );
+    for (i, &p) in ppns.iter().enumerate() {
+        t.row(vec![
+            p.to_string(),
+            fmt_ops(local[i]),
+            fmt_ops(nfs[i]),
+            fmt_ops(cxfs[i]),
+            fmt_ops(pvfs[i]),
+        ]);
+    }
+    b.table(t);
+
+    let mut t2 = ExpTable::new(
+        "§4.5 — intra-node speedup, 32 processes vs 1",
+        &["file system", "speedup"],
+    );
+    t2.row(vec!["local fs".into(), fmt_x(local[5] / local[0])]);
+    t2.row(vec!["NFS".into(), fmt_x(nfs[5] / nfs[0])]);
+    t2.row(vec!["CXFS".into(), fmt_x(cxfs[5] / cxfs[0])]);
+    t2.row(vec!["PVFS2".into(), fmt_x(pvfs[5] / pvfs[0])]);
+    b.table(t2);
+
+    let series = vec![
+        chart::Series::new(
+            "local",
+            ppns.iter()
+                .zip(&local)
+                .map(|(&p, &y)| (p as f64, y))
+                .collect(),
+        ),
+        chart::Series::new(
+            "NFS",
+            ppns.iter()
+                .zip(&nfs)
+                .map(|(&p, &y)| (p as f64, y))
+                .collect(),
+        ),
+        chart::Series::new(
+            "CXFS",
+            ppns.iter()
+                .zip(&cxfs)
+                .map(|(&p, &y)| (p as f64, y))
+                .collect(),
+        ),
+    ];
+    b.note(chart::processes_chart(&series));
+    b.artifact(
+        "exp_4_5_smp.svg",
+        chart::svg_chart(
+            "Intra-node scalability on an SMP node",
+            "processes",
+            "ops/s",
+            &series,
+            720,
+            480,
+        ),
+    );
+
+    b.metric_tol("local_speedup_32_procs", local[5] / local[0], 1e-6);
+    b.metric_tol("nfs_speedup_32_procs", nfs[5] / nfs[0], 1e-6);
+    b.metric_tol("cxfs_speedup_32_procs", cxfs[5] / cxfs[0], 1e-6);
+    b.metric_tol("pvfs_speedup_32_procs", pvfs[5] / pvfs[0], 1e-6);
+
+    b.check(
+        "local_fs_scales_intra_node",
+        local[5] > local[0] * 2.5,
+        format!("{} → {}", local[0], local[5]),
+    );
+    b.check(
+        "nfs_scales_until_filer_saturates",
+        nfs[3] > nfs[0] * 4.0,
+        format!("{} → {}", nfs[0], nfs[3]),
+    );
+    b.check(
+        "cxfs_token_manager_serializes_node",
+        cxfs[5] < cxfs[0] * 1.3,
+        format!("{} → {}", cxfs[0], cxfs[5]),
+    );
+    b.check(
+        "nfs_beats_cxfs_on_big_smp",
+        nfs[5] > cxfs[5] * 4.0,
+        format!("{} vs {}", nfs[5], cxfs[5]),
+    );
+    b.check(
+        "cache_free_pvfs_scales_intra_node",
+        pvfs[5] > pvfs[0] * 4.0,
+        format!("{} → {}", pvfs[0], pvfs[5]),
+    );
+    b.summary(format!(
+        "32-proc/1-proc speedups: local {:.1}×, NFS {:.1}× (to filer saturation), CXFS {:.2}×",
+        local[5] / local[0],
+        nfs[5] / nfs[0],
+        cxfs[5] / cxfs[0]
+    ));
+}

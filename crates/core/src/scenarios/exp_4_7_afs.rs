@@ -1,0 +1,112 @@
+//! EXP-4.7.3 — Measurements on AFS (paper §4.7.3).
+//!
+//! AFS aggregates its namespace externally: the client consults the VLDB
+//! and talks to volume servers directly, but its single-threaded cache
+//! manager serializes every RPC of the OS instance. Shapes to reproduce:
+//!
+//! * intra-node parallelism is flat (1 proc ≈ 8 procs on one node),
+//! * inter-node parallelism scales — every node brings its own cache
+//!   manager — until the volume servers saturate,
+//! * spreading load over volumes on different file servers scales further
+//!   than hammering one volume,
+//! * callback caching makes repeated stats local (open-to-close semantics).
+
+use crate::suite::{fmt_ops, fmt_x, make_workers, node_names, ExpTable, ReportBuilder};
+use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
+use dfs::{AfsFs, MetaOp};
+use simcore::SimDuration;
+
+fn streams_into(
+    workers: &[WorkerSpec],
+    volume_of_worker: impl Fn(usize) -> usize,
+) -> Vec<Box<dyn OpStream>> {
+    workers
+        .iter()
+        .enumerate()
+        .map(|(k, w)| {
+            let dir = format!("/vol{}/n{}p{}", volume_of_worker(k), w.node, w.proc);
+            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
+                Some(MetaOp::Create {
+                    path: format!("{dir}/f{i}"),
+                    data_bytes: 0,
+                })
+            });
+            s
+        })
+        .collect()
+}
+
+fn throughput(nodes: usize, ppn: usize, volume_of_worker: impl Fn(usize) -> usize) -> f64 {
+    let mut model = AfsFs::with_defaults();
+    let workers = make_workers(nodes, ppn);
+    let streams = streams_into(&workers, volume_of_worker);
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(20));
+    let res = run_sim(&mut model, &node_names(nodes), workers, streams, &cfg);
+    res.stonewall_ops_per_sec()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    // --- intra-node: flat ----------------------------------------------------
+    let ppns = [1usize, 2, 4, 8];
+    let mut t = ExpTable::new(
+        "§4.7.3 — AFS single node, creates into one volume [ops/s]",
+        &["processes", "ops/s", "vs 1 proc"],
+    );
+    let intra: Vec<f64> = ppns.iter().map(|&p| throughput(1, p, |_| 0)).collect();
+    for (i, &p) in ppns.iter().enumerate() {
+        t.row(vec![
+            p.to_string(),
+            fmt_ops(intra[i]),
+            fmt_x(intra[i] / intra[0]),
+        ]);
+    }
+    b.table(t);
+
+    // --- inter-node: scales --------------------------------------------------
+    let nodes_list = [1usize, 2, 4, 8];
+    let mut t2 = ExpTable::new(
+        "§4.7.3 — AFS multi-node, 1 ppn [ops/s]",
+        &["nodes", "one volume", "volumes spread over servers"],
+    );
+    let mut one_vol = Vec::new();
+    let mut spread_vol = Vec::new();
+    for &n in &nodes_list {
+        let one = throughput(n, 1, |_| 0);
+        // default AFS layout: 8 volumes over 4 servers → pick per-worker
+        let spread = throughput(n, 1, |k| k % 8);
+        t2.row(vec![n.to_string(), fmt_ops(one), fmt_ops(spread)]);
+        one_vol.push(one);
+        spread_vol.push(spread);
+    }
+    b.table(t2);
+
+    b.metric_tol("intra_1_proc", intra[0], 1e-6);
+    b.metric_tol("intra_8_procs", intra[3], 1e-6);
+    b.metric_tol("one_vol_8_nodes", one_vol[3], 1e-6);
+    b.metric_tol("spread_vol_8_nodes", spread_vol[3], 1e-6);
+
+    b.check(
+        "cache_manager_serializes_node",
+        intra[3] < intra[0] * 1.3,
+        format!("{} → {}", intra[0], intra[3]),
+    );
+    b.check(
+        "inter_node_scaling_works",
+        one_vol[3] > one_vol[0] * 3.0,
+        format!("{} → {}", one_vol[0], one_vol[3]),
+    );
+    b.check(
+        "spreading_volumes_never_hurts",
+        spread_vol[3] >= one_vol[3] * 0.95,
+        format!("{} vs {}", spread_vol[3], one_vol[3]),
+    );
+    b.summary(format!(
+        "1–8 procs on one node: {} ops/s flat ({:.2}×); 1→8 nodes: {} → {} (one volume) / {} (spread volumes)",
+        fmt_ops(intra[0]),
+        intra[3] / intra[0],
+        fmt_ops(one_vol[0]),
+        fmt_ops(one_vol[3]),
+        fmt_ops(spread_vol[3])
+    ));
+}

@@ -1,0 +1,109 @@
+//! EXP-4.8 — Write-back caching of metadata (paper §4.8).
+//!
+//! Lustre keeps a copy of every uncommitted metadata operation in the
+//! client cache until the MDS has committed it to disk (paper §2.6.4,
+//! §4.8). While the commit pipeline keeps up, creates run at RPC speed;
+//! once the client's uncommitted-operation window fills, each new operation
+//! must wait for a commit slot — the time chart shows a fast burst followed
+//! by a commit-bound plateau. Disabling write-back tracking removes the
+//! plateau (and the persistence guarantee).
+
+use crate::chart;
+use crate::suite::{fmt_ops, run_makefiles, ExpTable, ReportBuilder};
+use crate::{preprocess, Preprocessed, ResultSet};
+use cluster::SimConfig;
+use dfs::{DistFs, LustreConfig, LustreFs};
+use simcore::SimDuration;
+
+fn run_cfg(window: usize, commit_us: u64) -> Preprocessed {
+    let mut cfg = LustreConfig::default();
+    cfg.writeback_window = window;
+    cfg.commit_demand = SimDuration::from_micros(commit_us);
+    let mut model: Box<dyn DistFs> = Box::new(LustreFs::new(cfg));
+    let mut sim = SimConfig::default();
+    sim.duration = Some(SimDuration::from_secs(30));
+    let res = run_makefiles(model.as_mut(), 1, 1, &sim);
+    let rs = ResultSet::from_run("MakeFiles", 1, 1, &res);
+    preprocess(&rs, &[])
+}
+
+fn phase_throughput(pre: &Preprocessed, from: f64, to: f64) -> f64 {
+    let rows: Vec<_> = pre
+        .intervals
+        .iter()
+        .filter(|r| r.timestamp > from && r.timestamp <= to)
+        .collect();
+    rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    // window of 1024 uncommitted ops; a slow disk journal (3 ms/commit)
+    let throttled = run_cfg(1024, 3_000);
+    // same protocol with commits fast enough to never throttle
+    let fast_commit = run_cfg(1024, 25);
+    // write-back tracking disabled entirely
+    let disabled = run_cfg(0, 25);
+
+    let mut t = ExpTable::new(
+        "§4.8 — Lustre metadata write-back: creation throughput by phase [ops/s]",
+        &[
+            "configuration",
+            "burst (0–1 s)",
+            "steady (10–30 s)",
+            "burst/steady",
+        ],
+    );
+    for (label, pre) in [
+        ("slow commits (window 1024, 3 ms)", &throttled),
+        ("fast commits (window 1024, 25 µs)", &fast_commit),
+        ("write-back tracking off", &disabled),
+    ] {
+        let burst = phase_throughput(pre, 0.0, 1.0);
+        let steady = phase_throughput(pre, 10.0, 30.0);
+        t.row(vec![
+            label.into(),
+            fmt_ops(burst),
+            fmt_ops(steady),
+            format!("{:.2}", burst / steady.max(1.0)),
+        ]);
+    }
+    b.table(t);
+
+    b.note(chart::time_chart(&throttled));
+    b.artifact("exp_4_8_writeback.svg", chart::svg_time_chart(&throttled));
+
+    let burst = phase_throughput(&throttled, 0.0, 1.0);
+    let steady = phase_throughput(&throttled, 10.0, 30.0);
+    let commit_rate = 1.0e6 / 3_000.0; // ops/s the commit pipeline can retire
+    let fast_steady = phase_throughput(&fast_commit, 10.0, 30.0);
+    let disabled_steady = phase_throughput(&disabled, 10.0, 30.0);
+
+    b.metric_tol("throttled_burst", burst, 1e-6);
+    b.metric_tol("throttled_steady", steady, 1e-6);
+    b.metric_tol("fast_commit_steady", fast_steady, 1e-6);
+    b.metric_tol("disabled_steady", disabled_steady, 1e-6);
+
+    b.check(
+        "burst_outruns_commit_bound_steady_state",
+        burst > steady * 1.5,
+        format!("{burst} vs {steady}"),
+    );
+    b.check(
+        "steady_state_converges_to_commit_rate",
+        (steady - commit_rate).abs() / commit_rate < 0.15,
+        format!("{steady} vs {commit_rate}"),
+    );
+    b.check(
+        "fast_commit_pipeline_never_throttles",
+        (fast_steady - disabled_steady).abs() / disabled_steady < 0.1,
+        format!("{fast_steady} vs {disabled_steady}"),
+    );
+    b.summary(format!(
+        "slow-commit run bursts at {} ops/s then plateaus at {} (commit rate {}); fast commits sustain {} ≈ tracking-off {}",
+        fmt_ops(burst),
+        fmt_ops(steady),
+        fmt_ops(commit_rate),
+        fmt_ops(fast_steady),
+        fmt_ops(disabled_steady)
+    ));
+}

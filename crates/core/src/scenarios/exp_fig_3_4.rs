@@ -1,0 +1,90 @@
+//! FIG-3.4 — The time-interval logging worked example (paper §3.2.5).
+//!
+//! Three processes perform 30 operations each; the figure's per-interval
+//! totals are 19, 45, 70, 85, 90 cumulative (deltas 19, 26, 25, 15, 5).
+//! The wall-clock average is 18 ops per time unit (90 ops / 5 units) and
+//! the stonewall average is 23.3 ops per time unit (70 ops / 3 units,
+//! because the first process finishes after 3 units).
+
+use crate::suite::{ExpTable, ReportBuilder};
+use crate::{preprocess, ProcessTrace, ResultSet};
+
+pub fn run(b: &mut ReportBuilder) {
+    // The figure's per-process cumulative logs (time unit = 1 s here).
+    let traces = [
+        (
+            "P1",
+            vec![(1.0, 5), (2.0, 13), (3.0, 18), (4.0, 25), (5.0, 30)],
+        ),
+        ("P2", vec![(1.0, 8), (2.0, 18), (3.0, 30)]),
+        ("P3", vec![(1.0, 6), (2.0, 14), (3.0, 22), (4.0, 30)]),
+    ];
+    let rs = ResultSet {
+        operation: "Fig3.4Example".into(),
+        fs_name: "worked-example".into(),
+        nodes: 1,
+        ppn: 3,
+        interval_s: 1.0,
+        processes: traces
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| ProcessTrace {
+                hostname: "node0".into(),
+                process_no: i,
+                samples: s.clone(),
+                finished_at: Some(s.last().expect("non-empty trace").0),
+                ops_done: s.last().expect("non-empty trace").1,
+                errors: 0,
+            })
+            .collect(),
+    };
+    let pre = preprocess(&rs, &[]);
+
+    let mut t = ExpTable::new(
+        "Fig. 3.4 — time-interval logging example",
+        &["t", "total completed", "delta (this interval)"],
+    );
+    let mut prev = 0;
+    for row in &pre.intervals {
+        t.row(vec![
+            format!("{:.0}", row.timestamp),
+            row.total_done.to_string(),
+            (row.total_done - prev).to_string(),
+        ]);
+        prev = row.total_done;
+    }
+    b.table(t);
+
+    b.note(format!(
+        "\nwall-clock average : {:.1} ops/unit (paper: 18)",
+        pre.wallclock_avg
+    ));
+    b.note(format!(
+        "stonewall average  : {:.1} ops/unit (paper: 23.3)",
+        pre.stonewall_avg
+    ));
+
+    let totals: Vec<u64> = pre.intervals.iter().map(|r| r.total_done).collect();
+    for (i, &total) in totals.iter().enumerate() {
+        b.metric_exact(&format!("cumulative_t{}", i + 1), total as f64);
+    }
+    b.metric_exact("wallclock_avg", pre.wallclock_avg);
+    b.metric_exact("stonewall_avg", pre.stonewall_avg);
+
+    b.check(
+        "cumulative_totals_match_figure",
+        totals == vec![19, 45, 70, 85, 90],
+        format!("{totals:?} vs 19/45/70/85/90"),
+    );
+    b.check(
+        "wallclock_avg_is_18",
+        (pre.wallclock_avg - 18.0).abs() < 1e-9,
+        format!("{}", pre.wallclock_avg),
+    );
+    b.check(
+        "stonewall_avg_is_70_over_3",
+        (pre.stonewall_avg - 70.0 / 3.0).abs() < 1e-9,
+        format!("{}", pre.stonewall_avg),
+    );
+    b.summary("identical values");
+}

@@ -1,0 +1,106 @@
+//! FIG-4.4 — Recognizing a CPU disturbance on one node (paper §4.2.3).
+//!
+//! MakeFiles from 4 nodes × 1 process to the NFS filer for 60 s. Run (a) is
+//! clean; in run (b) a CPU-hog process storm occupies node 0 from t = 16 s
+//! to t = 22 s. The paper's findings to reproduce: total throughput dips
+//! visibly (≈5 500 → ≈4 000 ops/s on their filer), and the per-process COV
+//! steps up for exactly the disturbance window.
+
+use crate::suite::{fmt_ops, run_makefiles, ExpTable, ReportBuilder};
+use crate::{chart, preprocess, Preprocessed, ResultSet};
+use cluster::{Disturbance, SimConfig};
+use dfs::NfsFs;
+use simcore::{SimDuration, SimTime};
+
+fn run_one(disturbed: bool) -> Preprocessed {
+    let mut model = NfsFs::with_defaults();
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(60));
+    cfg.node_cores = 1; // single benchmark slot per node, like the paper's serial pool
+    if disturbed {
+        cfg.disturbances.push(Disturbance::CpuHog {
+            node: 0,
+            start: SimTime::from_secs(16),
+            end: SimTime::from_secs(22),
+            weight: 8.0, // several dozen hogs share one core with the worker
+        });
+    }
+    let res = run_makefiles(&mut model, 4, 1, &cfg);
+    let rs = ResultSet::from_run("MakeFiles", 4, 1, &res);
+    preprocess(&rs, &[])
+}
+
+fn window_avg(pre: &Preprocessed, from: f64, to: f64) -> (f64, f64) {
+    let rows: Vec<_> = pre
+        .intervals
+        .iter()
+        .filter(|r| r.timestamp > from && r.timestamp <= to)
+        .collect();
+    let tp = rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64;
+    let cov = rows.iter().map(|r| r.cov).sum::<f64>() / rows.len().max(1) as f64;
+    (tp, cov)
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let clean = run_one(false);
+    let disturbed = run_one(true);
+
+    let mut t = ExpTable::new(
+        "Fig. 4.4 — MakeFiles 4 nodes × 1 ppn on NFS, CPU hog on one node 16–22 s",
+        &["window", "clean ops/s", "clean COV", "hog ops/s", "hog COV"],
+    );
+    for (label, from, to) in [
+        ("before (6–16 s)", 6.0, 16.0),
+        ("during (16–22 s)", 16.0, 22.0),
+        ("after (22–32 s)", 22.0, 32.0),
+    ] {
+        let (ctp, ccov) = window_avg(&clean, from, to);
+        let (dtp, dcov) = window_avg(&disturbed, from, to);
+        t.row(vec![
+            label.into(),
+            fmt_ops(ctp),
+            format!("{ccov:.3}"),
+            fmt_ops(dtp),
+            format!("{dcov:.3}"),
+        ]);
+    }
+    b.table(t);
+
+    b.note(chart::time_chart(&disturbed));
+    b.artifact("fig_4_4_clean.svg", chart::svg_time_chart(&clean));
+    b.artifact("fig_4_4_disturbed.svg", chart::svg_time_chart(&disturbed));
+
+    let (before_tp, before_cov) = window_avg(&disturbed, 6.0, 16.0);
+    let (during_tp, during_cov) = window_avg(&disturbed, 16.0, 22.0);
+    let (after_tp, after_cov) = window_avg(&disturbed, 22.0, 32.0);
+    b.metric_tol("hog_before_ops", before_tp, 1e-6);
+    b.metric_tol("hog_during_ops", during_tp, 1e-6);
+    b.metric_tol("hog_after_ops", after_tp, 1e-6);
+    b.metric_tol("hog_before_cov", before_cov, 1e-6);
+    b.metric_tol("hog_during_cov", during_cov, 1e-6);
+    b.metric_tol("hog_after_cov", after_cov, 1e-6);
+
+    b.check(
+        "throughput_dips_during_hog",
+        during_tp < before_tp * 0.95,
+        format!("{before_tp} → {during_tp}"),
+    );
+    b.check(
+        "cov_steps_up_for_exact_window",
+        during_cov > before_cov * 3.0 && during_cov > after_cov * 3.0,
+        format!("{before_cov} / {during_cov} / {after_cov}"),
+    );
+    b.check(
+        "throughput_recovers_after_hog",
+        after_tp > during_tp,
+        format!("{during_tp} → {after_tp}"),
+    );
+    b.summary(format!(
+        "{} → {} ops/s; COV {:.3} → {:.3} → {:.3}, confined to 16–22 s",
+        fmt_ops(before_tp),
+        fmt_ops(during_tp),
+        before_cov,
+        during_cov,
+        after_cov
+    ));
+}

@@ -1,0 +1,89 @@
+//! FIG-4.5 — Recognizing a server-side snapshot disturbance (paper §4.2.3).
+//!
+//! Same setup as Fig. 4.4 (MakeFiles, 4 nodes × 1 ppn, NFS), but the *filer*
+//! creates multiple snapshots starting at t ≈ 9 s. The paper's finding: the
+//! per-process COV also rises, but "in a much more random manner" — because
+//! a server pause hits whichever requests happen to be in flight, not one
+//! designated node.
+
+use crate::suite::{fmt_ops, run_makefiles, ExpTable, ReportBuilder};
+use crate::{chart, preprocess, ResultSet};
+use cluster::{Disturbance, SimConfig};
+use dfs::NfsFs;
+use simcore::{SimDuration, SimTime};
+
+pub fn run(b: &mut ReportBuilder) {
+    let mut model = NfsFs::with_defaults();
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(60));
+    cfg.node_cores = 1;
+    // the filer creates several snapshots back to back from t = 9 s
+    for k in 0..6u64 {
+        cfg.disturbances.push(Disturbance::ServerPause {
+            server: 0,
+            at: SimTime::from_millis(9_000 + k * 1_700),
+            duration: SimDuration::from_millis(260 + (k * 97) % 200),
+        });
+    }
+    let res = run_makefiles(&mut model, 4, 1, &cfg);
+    let rs = ResultSet::from_run("MakeFiles", 4, 1, &res);
+    let pre = preprocess(&rs, &[]);
+
+    let window = |from: f64, to: f64| -> (f64, f64, f64) {
+        let rows: Vec<_> = pre
+            .intervals
+            .iter()
+            .filter(|r| r.timestamp > from && r.timestamp <= to)
+            .collect();
+        let tp = rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64;
+        let cov_mean = rows.iter().map(|r| r.cov).sum::<f64>() / rows.len().max(1) as f64;
+        let cov_max = rows.iter().map(|r| r.cov).fold(0.0, f64::max);
+        (tp, cov_mean, cov_max)
+    };
+
+    let mut t = ExpTable::new(
+        "Fig. 4.5 — MakeFiles 4 nodes × 1 ppn, filer snapshots from t ≈ 9 s",
+        &["window", "ops/s", "mean COV", "max COV"],
+    );
+    for (label, from, to) in [
+        ("before (2–9 s)", 2.0, 9.0),
+        ("snapshots (9–20 s)", 9.0, 20.0),
+        ("after (20–40 s)", 20.0, 40.0),
+    ] {
+        let (tp, cm, cx) = window(from, to);
+        t.row(vec![
+            label.into(),
+            fmt_ops(tp),
+            format!("{cm:.3}"),
+            format!("{cx:.3}"),
+        ]);
+    }
+    b.table(t);
+    b.note(chart::time_chart(&pre));
+    b.artifact("fig_4_5_snapshots.svg", chart::svg_time_chart(&pre));
+
+    let (tp_before, _, covmax_before) = window(2.0, 9.0);
+    let (tp_during, _, covmax_during) = window(9.0, 20.0);
+    b.metric_tol("before_ops", tp_before, 1e-6);
+    b.metric_tol("during_ops", tp_during, 1e-6);
+    b.metric_tol("before_cov_max", covmax_before, 1e-6);
+    b.metric_tol("during_cov_max", covmax_during, 1e-6);
+
+    b.check(
+        "snapshots_cost_throughput",
+        tp_during < tp_before,
+        format!("{tp_before} → {tp_during}"),
+    );
+    b.check(
+        "cov_spikes_erratically",
+        covmax_during > covmax_before * 2.0,
+        format!("{covmax_before} → {covmax_during}"),
+    );
+    b.summary(format!(
+        "ops/s {} → {} during snapshots; max COV spikes {:.3} → {:.3}, erratic",
+        fmt_ops(tp_before),
+        fmt_ops(tp_during),
+        covmax_before,
+        covmax_during
+    ));
+}

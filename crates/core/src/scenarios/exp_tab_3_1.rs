@@ -1,0 +1,47 @@
+//! TAB-3.1 — Weak/isogranular vs. strong scaling problem sizes
+//! (paper §3.2.3, Table 3.1).
+//!
+//! Regenerates the table for the paper's initial problem size n = 6000 and
+//! process counts 1–1000, demonstrating why DMetabench needs both scaling
+//! modes (and why time-interval logging can recover strong-scaling numbers
+//! from a weak-scaling run, §3.2.5).
+
+use crate::suite::ReportBuilder;
+
+pub fn run(b: &mut ReportBuilder) {
+    b.note(crate::scaling::scaling_table_text(
+        6000,
+        &[1, 2, 3, 4, 5, 10, 100, 1000],
+    ));
+    b.note(
+        "Paper check (Table 3.1): 2 processes → isogranular total 12000 / strong per-process 3000;"
+            .to_owned(),
+    );
+    b.note(
+        "                        1000 processes → isogranular total 6000000 / strong per-process 6."
+            .to_owned(),
+    );
+    let rows = crate::scaling::scaling_table(6000, &[2, 1000]);
+    b.metric_exact("iso_total_2_procs", rows[0].iso_total as f64);
+    b.metric_exact("strong_per_proc_2_procs", rows[0].strong_per_process as f64);
+    b.metric_exact("iso_total_1000_procs", rows[1].iso_total as f64);
+    b.metric_exact(
+        "strong_per_proc_1000_procs",
+        rows[1].strong_per_process as f64,
+    );
+    b.check(
+        "table_values_equal_paper",
+        rows[0].iso_total == 12_000
+            && rows[0].strong_per_process == 3_000
+            && rows[1].iso_total == 6_000_000
+            && rows[1].strong_per_process == 6,
+        format!(
+            "2 procs → {}/{}; 1000 procs → {}/{}",
+            rows[0].iso_total,
+            rows[0].strong_per_process,
+            rows[1].iso_total,
+            rows[1].strong_per_process
+        ),
+    );
+    b.summary("identical values");
+}

@@ -95,12 +95,24 @@ pub fn parse_trace(text: &str) -> Result<Vec<MetaOp>, String> {
                     data_bytes: bytes,
                 }
             }
-            "mkdir" => MetaOp::Mkdir { path: arg("a path")? },
-            "unlink" => MetaOp::Unlink { path: arg("a path")? },
-            "rmdir" => MetaOp::Rmdir { path: arg("a path")? },
-            "stat" => MetaOp::Stat { path: arg("a path")? },
-            "openclose" => MetaOp::OpenClose { path: arg("a path")? },
-            "readdir" => MetaOp::Readdir { path: arg("a path")? },
+            "mkdir" => MetaOp::Mkdir {
+                path: arg("a path")?,
+            },
+            "unlink" => MetaOp::Unlink {
+                path: arg("a path")?,
+            },
+            "rmdir" => MetaOp::Rmdir {
+                path: arg("a path")?,
+            },
+            "stat" => MetaOp::Stat {
+                path: arg("a path")?,
+            },
+            "openclose" => MetaOp::OpenClose {
+                path: arg("a path")?,
+            },
+            "readdir" => MetaOp::Readdir {
+                path: arg("a path")?,
+            },
             "rename" => MetaOp::Rename {
                 from: arg("a source")?,
                 to: arg("a destination")?,
@@ -254,14 +266,22 @@ mod tests {
 
     fn all_op_kinds() -> Vec<MetaOp> {
         vec![
-            MetaOp::Mkdir { path: "$W/d".into() },
+            MetaOp::Mkdir {
+                path: "$W/d".into(),
+            },
             MetaOp::Create {
                 path: "$W/d/f".into(),
                 data_bytes: 64,
             },
-            MetaOp::Stat { path: "$W/d/f".into() },
-            MetaOp::OpenClose { path: "$W/d/f".into() },
-            MetaOp::Readdir { path: "$W/d".into() },
+            MetaOp::Stat {
+                path: "$W/d/f".into(),
+            },
+            MetaOp::OpenClose {
+                path: "$W/d/f".into(),
+            },
+            MetaOp::Readdir {
+                path: "$W/d".into(),
+            },
             MetaOp::Chmod {
                 path: "$W/d/f".into(),
                 mode: 0o640,
@@ -283,8 +303,12 @@ mod tests {
                 from: "$W/d/h".into(),
                 to: "$W/d/r".into(),
             },
-            MetaOp::Unlink { path: "$W/d/r".into() },
-            MetaOp::Rmdir { path: "$W/e".into() },
+            MetaOp::Unlink {
+                path: "$W/d/r".into(),
+            },
+            MetaOp::Rmdir {
+                path: "$W/e".into(),
+            },
         ]
     }
 
@@ -307,8 +331,12 @@ mod tests {
         assert!(parse_trace("stat /a\nfrobnicate /b\n")
             .unwrap_err()
             .contains("line 2"));
-        assert!(parse_trace("stat /a extra\n").unwrap_err().contains("trailing"));
-        assert!(parse_trace("chmod /a 9z9\n").unwrap_err().contains("bad mode"));
+        assert!(parse_trace("stat /a extra\n")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_trace("chmod /a 9z9\n")
+            .unwrap_err()
+            .contains("bad mode"));
     }
 
     #[test]

@@ -219,20 +219,20 @@ impl DistFs for AfsFs {
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
         match op {
-            MetaOp::Stat { path } | MetaOp::OpenClose { path } => {
-                if self.callback_caches[client.node].lookup(path) {
-                    return Ok(OpPlan::local(self.config.cached_stat_cpu));
-                }
+            MetaOp::Stat { path } | MetaOp::OpenClose { path }
+                if self.callback_caches[client.node].lookup(path) =>
+            {
+                return Ok(OpPlan::local(self.config.cached_stat_cpu));
             }
             _ => {}
         }
         let volume = self.volume_of(op.primary_path())?;
         // Atomic rename and hard links cannot cross volumes (paper §2.6.3).
         match op {
-            MetaOp::Rename { from, .. } | MetaOp::Link { existing: from, .. } => {
-                if self.volume_of(from)? != volume {
-                    return Err(FsError::CrossDevice);
-                }
+            MetaOp::Rename { from, .. } | MetaOp::Link { existing: from, .. }
+                if self.volume_of(from)? != volume =>
+            {
+                return Err(FsError::CrossDevice);
             }
             _ => {}
         }
@@ -316,13 +316,22 @@ mod tests {
         m.register_clients(2);
         let mut rng = DetRng::new(1);
         let c = ClientCtx { node: 0, proc: 0 };
-        let p1 = m.plan(c, &create_op("/vol0/a"), SimTime::ZERO, &mut rng).unwrap();
+        let p1 = m
+            .plan(c, &create_op("/vol0/a"), SimTime::ZERO, &mut rng)
+            .unwrap();
         assert_eq!(vldb_visits(&p1), 1, "cold VLDB");
-        let p2 = m.plan(c, &create_op("/vol0/b"), SimTime::ZERO, &mut rng).unwrap();
+        let p2 = m
+            .plan(c, &create_op("/vol0/b"), SimTime::ZERO, &mut rng)
+            .unwrap();
         assert_eq!(vldb_visits(&p2), 0, "VLDB cached");
         // another node is cold again
         let p3 = m
-            .plan(ClientCtx { node: 1, proc: 0 }, &create_op("/vol0/c"), SimTime::ZERO, &mut rng)
+            .plan(
+                ClientCtx { node: 1, proc: 0 },
+                &create_op("/vol0/c"),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(vldb_visits(&p3), 1);
     }
@@ -333,7 +342,12 @@ mod tests {
         m.register_clients(1);
         let mut rng = DetRng::new(1);
         let plan = m
-            .plan(ClientCtx { node: 0, proc: 0 }, &create_op("/vol0/x"), SimTime::ZERO, &mut rng)
+            .plan(
+                ClientCtx { node: 0, proc: 0 },
+                &create_op("/vol0/x"),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         assert!(matches!(plan.stages.first(), Some(Stage::AcquireSem { sem }) if *sem == SemId(0)));
     }
@@ -344,14 +358,17 @@ mod tests {
         m.register_clients(1);
         let mut rng = DetRng::new(1);
         let c = ClientCtx { node: 0, proc: 0 };
-        m.plan(c, &create_op("/vol1/f"), SimTime::ZERO, &mut rng).unwrap();
+        m.plan(c, &create_op("/vol1/f"), SimTime::ZERO, &mut rng)
+            .unwrap();
         let stat = MetaOp::Stat {
             path: "/vol1/f".into(),
         };
-        assert!(m
-            .plan(c, &stat, SimTime::from_secs(3600), &mut rng)
-            .unwrap()
-            .is_client_only(), "callbacks do not expire with time");
+        assert!(
+            m.plan(c, &stat, SimTime::from_secs(3600), &mut rng)
+                .unwrap()
+                .is_client_only(),
+            "callbacks do not expire with time"
+        );
     }
 
     #[test]
@@ -361,7 +378,9 @@ mod tests {
         let mut rng = DetRng::new(1);
         let c = ClientCtx { node: 0, proc: 0 };
         // default layout: vol5 lives on file server 5 % 4 = 1 → ServerId(2)
-        let plan = m.plan(c, &create_op("/vol5/f"), SimTime::ZERO, &mut rng).unwrap();
+        let plan = m
+            .plan(c, &create_op("/vol5/f"), SimTime::ZERO, &mut rng)
+            .unwrap();
         let touched: Vec<ServerId> = plan
             .stages
             .iter()

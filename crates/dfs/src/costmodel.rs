@@ -233,7 +233,10 @@ mod tests {
             components_resolved: 2,
             ..OpCost::default()
         });
-        assert!(eager > first, "create #2000 ({eager}) slower than #1 ({first})");
+        assert!(
+            eager > first,
+            "create #2000 ({eager}) slower than #1 ({first})"
+        );
     }
 
     #[test]

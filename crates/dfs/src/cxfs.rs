@@ -132,10 +132,10 @@ impl DistFs for CxfsFs {
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
         match op {
-            MetaOp::Stat { path } | MetaOp::OpenClose { path } => {
-                if self.token_caches[client.node].lookup(path) {
-                    return Ok(OpPlan::local(self.config.cached_stat_cpu));
-                }
+            MetaOp::Stat { path } | MetaOp::OpenClose { path }
+                if self.token_caches[client.node].lookup(path) =>
+            {
+                return Ok(OpPlan::local(self.config.cached_stat_cpu));
             }
             _ => {}
         }
@@ -196,10 +196,14 @@ mod tests {
                 path: "/w/a".into(),
                 data_bytes: 0,
             },
-            MetaOp::Mkdir { path: "/w/d".into() },
+            MetaOp::Mkdir {
+                path: "/w/d".into(),
+            },
             MetaOp::Readdir { path: "/w".into() },
         ] {
-            let plan = m.plan(ClientCtx { node: 0, proc: 0 }, &op, SimTime::ZERO, &mut rng).unwrap();
+            let plan = m
+                .plan(ClientCtx { node: 0, proc: 0 }, &op, SimTime::ZERO, &mut rng)
+                .unwrap();
             assert!(
                 matches!(plan.stages.first(), Some(Stage::AcquireSem { .. })),
                 "{op:?} must serialize through the token manager"
@@ -225,7 +229,14 @@ mod tests {
         )
         .unwrap();
         let plan = m
-            .plan(c, &MetaOp::Stat { path: "/w/a".into() }, SimTime::ZERO, &mut rng)
+            .plan(
+                c,
+                &MetaOp::Stat {
+                    path: "/w/a".into(),
+                },
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         assert!(plan.is_client_only());
     }

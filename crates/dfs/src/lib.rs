@@ -48,8 +48,8 @@ mod cxfs;
 mod localfs;
 mod lustre;
 mod nfs;
-mod op;
 mod ontapgx;
+mod op;
 mod plan;
 mod pvfs;
 
@@ -60,10 +60,10 @@ pub use cxfs::{CxfsConfig, CxfsFs, CXFS_MDS};
 pub use localfs::{LocalConfig, LocalFs, LOCAL_KERNEL};
 pub use lustre::{LustreConfig, LustreFs, LUSTRE_COMMIT, LUSTRE_MDS};
 pub use nfs::{NfsConfig, NfsFs, NFS_SERVER};
-pub use op::MetaOp;
 pub use ontapgx::{OntapGxConfig, OntapGxFs, VolumeSpec};
-pub use pvfs::{PvfsConfig, PvfsFs, PVFS_MDS};
+pub use op::MetaOp;
 pub use plan::{
     BackgroundJob, ClientCtx, DistFs, FsResources, OpPlan, SemId, SemSpec, ServerId, ServerSpec,
     Stage, TimerAction,
 };
+pub use pvfs::{PvfsConfig, PvfsFs, PVFS_MDS};

@@ -205,10 +205,10 @@ impl DistFs for LustreFs {
     ) -> FsResult<OpPlan> {
         // lock-cached reads are local
         match op {
-            MetaOp::Stat { path } | MetaOp::OpenClose { path } => {
-                if self.lock_caches[client.node].lookup(path) {
-                    return Ok(OpPlan::local(self.config.cached_stat_cpu));
-                }
+            MetaOp::Stat { path } | MetaOp::OpenClose { path }
+                if self.lock_caches[client.node].lookup(path) =>
+            {
+                return Ok(OpPlan::local(self.config.cached_stat_cpu));
             }
             _ => {}
         }
@@ -269,7 +269,10 @@ impl DistFs for LustreFs {
         }
         if matches!(op, MetaOp::Create { .. }) {
             self.creates_seen += 1;
-            if self.creates_seen % self.config.precreate_batch == 0 {
+            if self
+                .creates_seen
+                .is_multiple_of(self.config.precreate_batch)
+            {
                 let server = self.oss_server();
                 background.push(BackgroundJob {
                     server,
@@ -358,7 +361,9 @@ mod tests {
         let mut rng = DetRng::new(1);
         m.plan(ctx(0), &create_op("/w/f"), SimTime::ZERO, &mut rng)
             .unwrap();
-        let stat = MetaOp::Stat { path: "/w/f".into() };
+        let stat = MetaOp::Stat {
+            path: "/w/f".into(),
+        };
         assert!(m
             .plan(ctx(0), &stat, SimTime::from_secs(100), &mut rng)
             .unwrap()
@@ -376,13 +381,14 @@ mod tests {
         let mut oss_jobs = 0;
         for i in 0..64 {
             let plan = m
-                .plan(ctx(0), &create_op(&format!("/w/f{i}")), SimTime::ZERO, &mut rng)
+                .plan(
+                    ctx(0),
+                    &create_op(&format!("/w/f{i}")),
+                    SimTime::ZERO,
+                    &mut rng,
+                )
                 .unwrap();
-            oss_jobs += plan
-                .background
-                .iter()
-                .filter(|b| b.server.0 >= 2)
-                .count();
+            oss_jobs += plan.background.iter().filter(|b| b.server.0 >= 2).count();
         }
         assert_eq!(oss_jobs, 2, "one pre-creation per 32 creates");
     }
@@ -393,8 +399,13 @@ mod tests {
         let mut rng = DetRng::new(1);
         let stat = MetaOp::Stat { path: "/w".into() };
         // /w does not exist yet — create it via mkdir first
-        m.plan(ctx(0), &MetaOp::Mkdir { path: "/w".into() }, SimTime::ZERO, &mut rng)
-            .unwrap();
+        m.plan(
+            ctx(0),
+            &MetaOp::Mkdir { path: "/w".into() },
+            SimTime::ZERO,
+            &mut rng,
+        )
+        .unwrap();
         m.drop_caches(0);
         let plan = m.plan(ctx(0), &stat, SimTime::ZERO, &mut rng).unwrap();
         assert!(

@@ -200,10 +200,8 @@ impl DistFs for NfsFs {
         let cache = &mut self.attr_caches[client.node];
         // Reads that the client may answer locally (close-to-open + TTL).
         match op {
-            MetaOp::Stat { path } | MetaOp::OpenClose { path } => {
-                if cache.lookup(path, now) {
-                    return Ok(OpPlan::local(self.config.cached_stat_cpu));
-                }
+            MetaOp::Stat { path } | MetaOp::OpenClose { path } if cache.lookup(path, now) => {
+                return Ok(OpPlan::local(self.config.cached_stat_cpu));
             }
             _ => {}
         }
@@ -289,7 +287,10 @@ mod tests {
             .unwrap();
         assert!(!plan.is_client_only());
         assert!(plan.foreground_demand() >= SimDuration::from_micros(400));
-        assert!(fs.server_fs().counters().creates >= 1, "semantically applied");
+        assert!(
+            fs.server_fs().counters().creates >= 1,
+            "semantically applied"
+        );
     }
 
     #[test]
@@ -299,11 +300,16 @@ mod tests {
         let mut rng = DetRng::new(1);
         let t = SimTime::from_secs(1);
         fs.plan(ctx(0), &create_op("/w/f1"), t, &mut rng).unwrap();
-        let stat = MetaOp::Stat { path: "/w/f1".into() };
+        let stat = MetaOp::Stat {
+            path: "/w/f1".into(),
+        };
         let hit = fs.plan(ctx(0), &stat, t, &mut rng).unwrap();
         assert!(hit.is_client_only(), "same node: attr cache hit");
         let miss = fs.plan(ctx(1), &stat, t, &mut rng).unwrap();
-        assert!(!miss.is_client_only(), "other node must RPC (StatMultinodeFiles)");
+        assert!(
+            !miss.is_client_only(),
+            "other node must RPC (StatMultinodeFiles)"
+        );
     }
 
     #[test]
@@ -313,7 +319,9 @@ mod tests {
         let mut rng = DetRng::new(1);
         fs.plan(ctx(0), &create_op("/w/f1"), SimTime::ZERO, &mut rng)
             .unwrap();
-        let stat = MetaOp::Stat { path: "/w/f1".into() };
+        let stat = MetaOp::Stat {
+            path: "/w/f1".into(),
+        };
         let late = SimTime::from_secs(10);
         let plan = fs.plan(ctx(0), &stat, late, &mut rng).unwrap();
         assert!(!plan.is_client_only(), "TTL expired → revalidation RPC");
@@ -328,7 +336,14 @@ mod tests {
         fs.plan(ctx(0), &create_op("/w/f1"), t, &mut rng).unwrap();
         fs.drop_caches(0);
         let plan = fs
-            .plan(ctx(0), &MetaOp::Stat { path: "/w/f1".into() }, t, &mut rng)
+            .plan(
+                ctx(0),
+                &MetaOp::Stat {
+                    path: "/w/f1".into(),
+                },
+                t,
+                &mut rng,
+            )
             .unwrap();
         assert!(!plan.is_client_only(), "StatNocacheFiles semantics");
     }
@@ -342,8 +357,13 @@ mod tests {
         let a = fs.on_timer(SimTime::from_secs(10));
         assert!(a.pauses.is_empty());
         assert_eq!(a.next, Some(SimTime::from_secs(20)));
-        fs.plan(ctx(0), &create_op("/w/f1"), SimTime::from_secs(11), &mut rng)
-            .unwrap();
+        fs.plan(
+            ctx(0),
+            &create_op("/w/f1"),
+            SimTime::from_secs(11),
+            &mut rng,
+        )
+        .unwrap();
         let b = fs.on_timer(SimTime::from_secs(20));
         assert_eq!(b.pauses.len(), 1);
         assert_eq!(b.pauses[0].0, NFS_SERVER);

@@ -226,10 +226,10 @@ impl DistFs for OntapGxFs {
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
         match op {
-            MetaOp::Stat { path } | MetaOp::OpenClose { path } => {
-                if self.attr_caches[client.node].lookup(path, now) {
-                    return Ok(OpPlan::local(self.config.cached_stat_cpu));
-                }
+            MetaOp::Stat { path } | MetaOp::OpenClose { path }
+                if self.attr_caches[client.node].lookup(path, now) =>
+            {
+                return Ok(OpPlan::local(self.config.cached_stat_cpu));
             }
             _ => {}
         }
@@ -237,10 +237,10 @@ impl DistFs for OntapGxFs {
         // Atomic rename cannot cross volumes: the server answers EXDEV even
         // though the client sees one namespace (paper §2.6.3).
         match op {
-            MetaOp::Rename { from, .. } | MetaOp::Link { existing: from, .. } => {
-                if self.volume_of(from)? != volume {
-                    return Err(FsError::CrossDevice);
-                }
+            MetaOp::Rename { from, .. } | MetaOp::Link { existing: from, .. }
+                if self.volume_of(from)? != volume =>
+            {
+                return Err(FsError::CrossDevice);
             }
             _ => {}
         }
@@ -371,7 +371,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(servers, vec![ServerId(0), ServerId(5)], "N-blade then D-blade");
+        assert_eq!(
+            servers,
+            vec![ServerId(0), ServerId(5)],
+            "N-blade then D-blade"
+        );
         assert_eq!(m.forwarding_stats(), (1, 0));
     }
 
@@ -403,7 +407,8 @@ mod tests {
             local.foreground_demand()
         );
         // efficiency should be roughly 70–90 % (paper cites ~75 %)
-        let eff = local.foreground_demand().as_secs_f64() / remote.foreground_demand().as_secs_f64();
+        let eff =
+            local.foreground_demand().as_secs_f64() / remote.foreground_demand().as_secs_f64();
         assert!((0.5..0.95).contains(&eff), "efficiency {eff}");
     }
 

@@ -179,7 +179,9 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let stat = MetaOp::Stat { path: "/w/f".into() };
+        let stat = MetaOp::Stat {
+            path: "/w/f".into(),
+        };
         for _ in 0..3 {
             let plan = m.plan(ctx(), &stat, SimTime::ZERO, &mut rng).unwrap();
             assert!(!plan.is_client_only(), "every stat is a round trip");
@@ -231,7 +233,9 @@ mod tests {
         let stat = m
             .plan(
                 ctx(),
-                &MetaOp::Stat { path: "/w/h".into() },
+                &MetaOp::Stat {
+                    path: "/w/h".into(),
+                },
                 SimTime::ZERO,
                 &mut rng,
             )

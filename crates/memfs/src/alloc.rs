@@ -141,7 +141,10 @@ impl BlockAllocator for BitmapAllocator {
                     // coalesce into the previous extent when contiguous
                     match extents.last_mut() {
                         Some(e) if e.start + e.len == block => e.len += 1,
-                        _ => extents.push(Extent { start: block, len: 1 }),
+                        _ => extents.push(Extent {
+                            start: block,
+                            len: 1,
+                        }),
                     }
                 }
             }

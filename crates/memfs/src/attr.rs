@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Inode number — the system-wide unique file identifier (paper §2.1.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ino(pub u64);
 
 impl std::fmt::Display for Ino {
@@ -83,7 +81,11 @@ impl FileAttr {
             ino,
             file_type,
             mode,
-            nlink: if file_type == FileType::Directory { 2 } else { 1 },
+            nlink: if file_type == FileType::Directory {
+                2
+            } else {
+                1
+            },
             uid,
             gid,
             size: 0,
@@ -174,7 +176,10 @@ mod tests {
     fn superuser_bypasses_rw() {
         let a = FileAttr::new(Ino(1), FileType::Regular, 0o000, 10, 20, 0);
         assert!(a.permits(0, 0, true, true, false));
-        assert!(!a.permits(0, 0, false, false, true), "root still needs an x bit");
+        assert!(
+            !a.permits(0, 0, false, false, true),
+            "root still needs an x bit"
+        );
     }
 
     #[test]

@@ -330,11 +330,14 @@ impl DirIndex for BTreeDir {
 
     fn remove(&mut self, name: &str) -> Probed<Option<RawEntry>> {
         let probes = self.log_probes();
-        let value = self.map.remove_entry(name).map(|(name, (ino, file_type))| RawEntry {
-            name,
-            ino,
-            file_type,
-        });
+        let value = self
+            .map
+            .remove_entry(name)
+            .map(|(name, (ino, file_type))| RawEntry {
+                name,
+                ino,
+                file_type,
+            });
         Probed::new(value, probes)
     }
 

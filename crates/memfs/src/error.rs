@@ -118,7 +118,7 @@ impl From<std::io::Error> for FsError {
                 // Fall back to raw errno for kinds std does not map (stable
                 // Rust lacks ErrorKind variants for ENOTDIR, ENOTEMPTY, ...).
                 match e.raw_os_error() {
-                    Some(libc_enotdir) if libc_enotdir == 20 => FsError::NotDir,
+                    Some(20) => FsError::NotDir,
                     Some(39) | Some(66) => FsError::NotEmpty, // Linux / *BSD
                     Some(21) => FsError::IsDir,
                     Some(18) => FsError::CrossDevice,

@@ -77,9 +77,17 @@ impl Default for MemFsConfig {
 
 #[derive(Debug)]
 enum InodeData {
-    Regular { data: Vec<u8>, extents: Vec<Extent> },
-    Dir { index: Box<dyn DirIndex>, parent: Ino },
-    Symlink { target: String },
+    Regular {
+        data: Vec<u8>,
+        extents: Vec<Extent>,
+    },
+    Dir {
+        index: Box<dyn DirIndex>,
+        parent: Ino,
+    },
+    Symlink {
+        target: String,
+    },
 }
 
 impl Clone for InodeData {
@@ -378,8 +386,7 @@ impl MemFs {
                 } else {
                     FsPath::parse(&format!("{cur_path}/{target}"))?
                 };
-                let mut rebuilt: VecDeque<String> =
-                    tpath.components().iter().cloned().collect();
+                let mut rebuilt: VecDeque<String> = tpath.components().iter().cloned().collect();
                 rebuilt.extend(comps.drain(..));
                 comps = rebuilt;
                 cur = ROOT_INO;
@@ -847,7 +854,7 @@ impl MemFs {
                     "ino#{ino_num}: nlink {actual} but {expected} references"
                 ));
             }
-            if !is_root && refcount.get(ino_num).is_none() && node.open_count == 0 {
+            if !is_root && !refcount.contains_key(ino_num) && node.open_count == 0 {
                 problems.push(format!("ino#{ino_num} is unreferenced (orphan)"));
             }
             used_blocks += node.attr.blocks;
@@ -1003,14 +1010,8 @@ impl Vfs for MemFs {
             None => {
                 self.require_writable()?;
                 let (dir, name) = self.resolve_parent(&p)?;
-                let ino = self.create_node(
-                    dir,
-                    &name,
-                    FileType::Regular,
-                    DEFAULT_FILE_MODE,
-                    None,
-                    None,
-                )?;
+                let ino =
+                    self.create_node(dir, &name, FileType::Regular, DEFAULT_FILE_MODE, None, None)?;
                 self.log(JournalRecord::Create {
                     parent: dir,
                     name,
@@ -1058,7 +1059,11 @@ impl Vfs for MemFs {
 
     fn write(&mut self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
         self.require_writable()?;
-        let of = self.open_files.get(&fd.0).cloned().ok_or(FsError::BadHandle)?;
+        let of = self
+            .open_files
+            .get(&fd.0)
+            .cloned()
+            .ok_or(FsError::BadHandle)?;
         if !of.flags.write {
             return Err(FsError::BadHandle);
         }
@@ -1102,7 +1107,11 @@ impl Vfs for MemFs {
     }
 
     fn read(&mut self, fd: Fd, len: usize) -> FsResult<Vec<u8>> {
-        let of = self.open_files.get(&fd.0).cloned().ok_or(FsError::BadHandle)?;
+        let of = self
+            .open_files
+            .get(&fd.0)
+            .cloned()
+            .ok_or(FsError::BadHandle)?;
         if !of.flags.read {
             return Err(FsError::BadHandle);
         }
@@ -1132,7 +1141,14 @@ impl Vfs for MemFs {
         self.require_writable()?;
         let p = Self::parse(path)?;
         let (dir, name) = self.resolve_parent(&p)?;
-        let ino = self.create_node(dir, &name, FileType::Directory, DEFAULT_DIR_MODE, None, None)?;
+        let ino = self.create_node(
+            dir,
+            &name,
+            FileType::Directory,
+            DEFAULT_DIR_MODE,
+            None,
+            None,
+        )?;
         self.log(JournalRecord::Mkdir {
             parent: dir,
             name,
@@ -1699,7 +1715,10 @@ mod tests {
         let mut f = fs();
         f.mkdir("/a").unwrap();
         f.mkdir("/a/b").unwrap();
-        assert_eq!(f.rename("/a", "/a/b/c").unwrap_err(), FsError::InvalidArgument);
+        assert_eq!(
+            f.rename("/a", "/a/b/c").unwrap_err(),
+            FsError::InvalidArgument
+        );
     }
 
     #[test]
@@ -1875,7 +1894,10 @@ mod tests {
         f.close(fd).unwrap();
         let replayed = f.crash_and_recover();
         assert!(replayed >= 2);
-        assert!(f.stat("/d/file").unwrap().is_file(), "sync journal preserved all");
+        assert!(
+            f.stat("/d/file").unwrap().is_file(),
+            "sync journal preserved all"
+        );
         assert!(f.check().is_empty(), "{:?}", f.check());
     }
 
@@ -2001,7 +2023,11 @@ mod tests {
         assert_eq!(f.fstat(Fd(999)).unwrap_err(), FsError::BadHandle);
         assert_eq!(f.read(Fd(999), 1).unwrap_err(), FsError::BadHandle);
         let fd = f.create("/a").unwrap();
-        assert_eq!(f.read(fd, 1).unwrap_err(), FsError::BadHandle, "write-only fd");
+        assert_eq!(
+            f.read(fd, 1).unwrap_err(),
+            FsError::BadHandle,
+            "write-only fd"
+        );
     }
 
     #[test]
@@ -2035,7 +2061,10 @@ mod tests {
         f.removexattr("/a", "user.gone").unwrap();
         f.crash_and_recover();
         assert_eq!(f.getxattr("/a", "user.k").unwrap(), b"v1");
-        assert_eq!(f.getxattr("/a", "user.gone").unwrap_err(), FsError::NotFound);
+        assert_eq!(
+            f.getxattr("/a", "user.gone").unwrap_err(),
+            FsError::NotFound
+        );
         assert!(f.check().is_empty(), "{:?}", f.check());
     }
 
@@ -2052,8 +2081,14 @@ mod tests {
             vec!["user.color".to_owned(), "user.size".to_owned()]
         );
         f.removexattr("/a", "user.color").unwrap();
-        assert_eq!(f.getxattr("/a", "user.color").unwrap_err(), FsError::NotFound);
-        assert_eq!(f.removexattr("/a", "user.color").unwrap_err(), FsError::NotFound);
+        assert_eq!(
+            f.getxattr("/a", "user.color").unwrap_err(),
+            FsError::NotFound
+        );
+        assert_eq!(
+            f.removexattr("/a", "user.color").unwrap_err(),
+            FsError::NotFound
+        );
         // overwrite keeps a single key
         f.setxattr("/a", "user.size", b"43").unwrap();
         assert_eq!(f.getxattr("/a", "user.size").unwrap(), b"43");

@@ -56,7 +56,9 @@ pub use alloc::{
 };
 pub use attr::{DirEntry, FileAttr, FileType, Ino, Mode, DEFAULT_DIR_MODE, DEFAULT_FILE_MODE};
 pub use cost::{CostMeter, OpCost, OpCounters};
-pub use dir::{new_index, BTreeDir, DirIndex, DirIndexKind, HashedDir, LinearDir, Probed, RawEntry};
+pub use dir::{
+    new_index, BTreeDir, DirIndex, DirIndexKind, HashedDir, LinearDir, Probed, RawEntry,
+};
 pub use error::{FsError, FsResult};
 pub use fs::{MemFs, MemFsConfig, ROOT_INO};
 pub use journal::{CrashCountTable, CrashTag, Journal, JournalMode, JournalRecord, TxId};

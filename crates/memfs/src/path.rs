@@ -31,7 +31,9 @@ pub struct FsPath {
 impl FsPath {
     /// The root path `/`.
     pub fn root() -> Self {
-        FsPath { components: Vec::new() }
+        FsPath {
+            components: Vec::new(),
+        }
     }
 
     /// Parse and normalize a path string.
@@ -174,7 +176,10 @@ mod tests {
     #[test]
     fn long_name_rejected() {
         let long = "x".repeat(NAME_MAX + 1);
-        assert_eq!(FsPath::parse(&format!("/{long}")), Err(FsError::NameTooLong));
+        assert_eq!(
+            FsPath::parse(&format!("/{long}")),
+            Err(FsError::NameTooLong)
+        );
         let ok = "x".repeat(NAME_MAX);
         assert!(FsPath::parse(&format!("/{ok}")).is_ok());
     }

@@ -379,13 +379,19 @@ impl Vfs for StdFs {
     }
 
     fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
-        Ok(fs::hard_link(self.host_path(existing)?, self.host_path(new)?)?)
+        Ok(fs::hard_link(
+            self.host_path(existing)?,
+            self.host_path(new)?,
+        )?)
     }
 
     fn symlink(&mut self, target: &str, linkpath: &str) -> FsResult<()> {
         #[cfg(unix)]
         {
-            Ok(std::os::unix::fs::symlink(target, self.host_path(linkpath)?)?)
+            Ok(std::os::unix::fs::symlink(
+                target,
+                self.host_path(linkpath)?,
+            )?)
         }
         #[cfg(not(unix))]
         {
@@ -525,10 +531,7 @@ mod tests {
 
     fn tmp_root(tag: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!(
-            "memfs-stdfs-test-{tag}-{}",
-            std::process::id()
-        ));
+        p.push(format!("memfs-stdfs-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&p);
         p
     }
@@ -583,7 +586,10 @@ mod tests {
         let root = tmp_root("jail");
         let mut f = StdFs::new(&root).unwrap();
         // "/../../etc" normalizes to "/etc" *inside* the jail
-        assert_eq!(f.stat("/../../../etc/passwd").unwrap_err(), FsError::NotFound);
+        assert_eq!(
+            f.stat("/../../../etc/passwd").unwrap_err(),
+            FsError::NotFound
+        );
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use memfs::{
-    new_allocator, new_index, AllocatorKind, DirIndexKind, FileType, FsError, FsPath, Ino, MemFs,
-    MemFsConfig, JournalMode, RawEntry, Vfs,
+    new_allocator, new_index, AllocatorKind, DirIndexKind, FileType, FsError, FsPath, Ino,
+    JournalMode, MemFs, MemFsConfig, RawEntry, Vfs,
 };
 
 // ---------------------------------------------------------------------------

@@ -237,7 +237,13 @@ impl Topology {
     }
 
     /// RTT for a profiled RPC.
-    pub fn rpc(&self, a: Endpoint, b: Endpoint, profile: RpcProfile, rng: &mut DetRng) -> SimDuration {
+    pub fn rpc(
+        &self,
+        a: Endpoint,
+        b: Endpoint,
+        profile: RpcProfile,
+        rng: &mut DetRng,
+    ) -> SimDuration {
         self.rtt(a, b, profile.request_bytes, profile.response_bytes, rng)
     }
 }
@@ -286,7 +292,11 @@ mod tests {
             jitter: 0.0,
         };
         let d = link.one_way(500_000, &mut rng());
-        assert_eq!(d, SimDuration::from_millis(501), "1 ms latency + 0.5 s transmit");
+        assert_eq!(
+            d,
+            SimDuration::from_millis(501),
+            "1 ms latency + 0.5 s transmit"
+        );
     }
 
     #[test]

@@ -50,11 +50,11 @@ mod stats;
 mod time;
 
 pub use lock::HoldLock;
-pub use sem::Semaphore;
 pub use ps::{PsCompletion, PsResource};
 pub use resource::{FifoResource, ResourceStats, ServiceStart};
 pub use rng::DetRng;
 pub use sched::{EventId, Scheduler};
+pub use sem::Semaphore;
 pub use stats::{LatencyHistogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 

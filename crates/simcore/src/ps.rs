@@ -236,14 +236,15 @@ impl PsResource {
         // Find the finite job with the least remaining work; it must be ~0.
         let mut ids: Vec<JobId> = self.jobs.keys().copied().collect();
         ids.sort_unstable();
-        let done = ids.into_iter().filter(|id| self.jobs[id].remaining.is_finite()).min_by(
-            |a, b| {
+        let done = ids
+            .into_iter()
+            .filter(|id| self.jobs[id].remaining.is_finite())
+            .min_by(|a, b| {
                 self.jobs[a]
                     .remaining
                     .partial_cmp(&self.jobs[b].remaining)
                     .expect("remaining demands are never NaN")
-            },
-        )?;
+            })?;
         if self.jobs[&done].remaining > EPS {
             return None;
         }

@@ -152,7 +152,12 @@ impl FifoResource {
     ///
     /// Returns `Some(ServiceStart)` if it enters service immediately,
     /// `None` if it queued.
-    pub fn arrive(&mut self, now: SimTime, job: JobId, demand: SimDuration) -> Option<ServiceStart> {
+    pub fn arrive(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        demand: SimDuration,
+    ) -> Option<ServiceStart> {
         if self.busy < self.servers && now >= self.paused_until {
             Some(self.start_service(now, job, demand, now))
         } else {

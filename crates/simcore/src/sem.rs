@@ -101,10 +101,7 @@ impl Semaphore {
             self.acquisitions += 1;
             Some(next)
         } else {
-            assert!(
-                self.available < self.permits,
-                "double release on semaphore"
-            );
+            assert!(self.available < self.permits, "double release on semaphore");
             self.available += 1;
             None
         }

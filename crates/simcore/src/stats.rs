@@ -209,11 +209,10 @@ impl LatencyHistogram {
 
     /// Mean latency.
     pub fn mean(&self) -> crate::SimDuration {
-        if self.count == 0 {
-            crate::SimDuration::ZERO
-        } else {
-            crate::SimDuration::from_nanos(self.sum_ns / self.count)
-        }
+        self.sum_ns
+            .checked_div(self.count)
+            .map(crate::SimDuration::from_nanos)
+            .unwrap_or(crate::SimDuration::ZERO)
     }
 
     /// Largest observation.
@@ -273,7 +272,9 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.population_stddev(), 2.0);
         assert!((s.coefficient_of_variation() - 0.4).abs() < 1e-12);
@@ -284,7 +285,7 @@ mod tests {
 
     #[test]
     fn identical_values_have_zero_cov() {
-        let s: OnlineStats = std::iter::repeat(3.5).take(16).collect();
+        let s: OnlineStats = std::iter::repeat_n(3.5, 16).collect();
         assert!(s.coefficient_of_variation() < 1e-12);
     }
 
@@ -314,7 +315,10 @@ mod tests {
         }
         assert_eq!(h.count(), 100);
         let p50 = h.percentile(0.5);
-        assert!(p50 >= SimDuration::from_micros(100) && p50 < SimDuration::from_micros(300), "{p50}");
+        assert!(
+            p50 >= SimDuration::from_micros(100) && p50 < SimDuration::from_micros(300),
+            "{p50}"
+        );
         let p99 = h.percentile(0.99);
         assert!(p99 >= SimDuration::from_millis(10), "{p99}");
         assert_eq!(h.max(), SimDuration::from_millis(10));

@@ -12,7 +12,9 @@ use dfs::{AfsFs, CxfsFs, DistFs, LustreFs, MetaOp, NfsFs, OntapGxFs, PvfsFs};
 use dmetabench::chart;
 use simcore::SimDuration;
 
-fn factories() -> Vec<(&'static str, fn() -> Box<dyn DistFs>)> {
+type ModelFactory = fn() -> Box<dyn DistFs>;
+
+fn factories() -> Vec<(&'static str, ModelFactory)> {
     vec![
         ("NFS/WAFL", || Box::new(NfsFs::with_defaults())),
         ("Lustre", || Box::new(LustreFs::with_defaults())),
@@ -84,6 +86,8 @@ fn main() {
     println!("Observations mirroring the thesis:");
     println!(" * the NVRAM filer (NFS) and the aggregated GX cluster lead at small scale;");
     println!(" * Lustre and CXFS pay their metadata-server round trips but scale across nodes;");
-    println!(" * AFS sits lowest per node (serializing cache manager) yet still scales out;
- * PVFS2 pays for its cache-free semantics on every operation but scales cleanly.");
+    println!(
+        " * AFS sits lowest per node (serializing cache manager) yet still scales out;
+ * PVFS2 pays for its cache-free semantics on every operation but scales cleanly."
+    );
 }

@@ -99,9 +99,9 @@ fn main() {
 
     for (name, pre) in [("A", &a), ("B", &b)] {
         match detect(pre) {
-            Some((s, e)) => println!(
-                "run {name}: DISTURBANCE detected — COV elevated from {s:.1}s to {e:.1}s"
-            ),
+            Some((s, e)) => {
+                println!("run {name}: DISTURBANCE detected — COV elevated from {s:.1}s to {e:.1}s")
+            }
             None => println!("run {name}: clean — COV flat for the whole run"),
         }
         println!(

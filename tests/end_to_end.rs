@@ -136,7 +136,8 @@ fn stonewall_never_below_wallclock_for_uniform_runs() {
 #[test]
 fn all_plugins_run_on_all_models() {
     use dmetabench::all_plugin_names;
-    let factories: Vec<(&str, fn() -> Box<dyn DistFs>)> = vec![
+    type ModelFactory = fn() -> Box<dyn DistFs>;
+    let factories: Vec<(&str, ModelFactory)> = vec![
         ("nfs", || Box::new(NfsFs::with_defaults())),
         ("lustre", || Box::new(LustreFs::with_defaults())),
         ("cxfs", || Box::new(dfs::CxfsFs::with_defaults())),

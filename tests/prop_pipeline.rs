@@ -9,11 +9,8 @@ use dmetabench::{align_to_grid, preprocess, ProcessTrace, ResultSet};
 /// Strategy: a monotone progress trace on a 0.1 s grid, optionally with an
 /// off-grid completion sample.
 fn trace(process_no: usize) -> impl Strategy<Value = ProcessTrace> {
-    (
-        prop::collection::vec(0u64..200, 1..40),
-        0u64..99,
-    )
-        .prop_map(move |(deltas, completion_offset_ms)| {
+    (prop::collection::vec(0u64..200, 1..40), 0u64..99).prop_map(
+        move |(deltas, completion_offset_ms)| {
             let mut samples = Vec::new();
             let mut total = 0;
             for (k, d) in deltas.iter().enumerate() {
@@ -32,7 +29,8 @@ fn trace(process_no: usize) -> impl Strategy<Value = ProcessTrace> {
                 ops_done: total,
                 errors: 0,
             }
-        })
+        },
+    )
 }
 
 fn result_set() -> impl Strategy<Value = ResultSet> {
@@ -154,4 +152,113 @@ proptest! {
             prop_assert_eq!(avg, 0.0);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions. These are the shrunken counterexamples recorded in
+// `prop_pipeline.proptest-regressions`; proptest replays that file before
+// generating novel cases, but the explicit tests below keep the exact inputs
+// visible (and running) even if the seed file is lost or the strategies
+// change shape.
+// ---------------------------------------------------------------------------
+
+/// Every pipeline invariant the proptest blocks assert, applied to one
+/// concrete ResultSet.
+fn assert_pipeline_invariants(rs: &ResultSet) {
+    let pre = preprocess(rs, &[]);
+    let mut prev = 0u64;
+    for row in &pre.intervals {
+        assert!(row.total_done >= prev, "totals decrease");
+        prev = row.total_done;
+        assert!(row.cov.is_finite() && row.cov >= 0.0);
+        assert!(row.stddev >= 0.0);
+    }
+    let grid_total = pre.intervals.last().map(|r| r.total_done).unwrap_or(0);
+    assert!(grid_total <= rs.total_ops());
+    let first = pre.intervals.first().map(|r| r.total_done).unwrap_or(0);
+    let sum: f64 = pre.intervals.iter().map(|r| r.throughput * 0.1).sum();
+    let expect = grid_total.saturating_sub(first) as f64;
+    assert!((sum - expect).abs() < 1e-6 * (1.0 + expect), "conservation");
+    assert!(pre.stonewall_avg >= 0.0 && pre.stonewall_avg.is_finite());
+
+    let tsv = rs.to_tsv();
+    let parsed = ResultSet::from_tsv(&tsv, &rs.fs_name, rs.nodes, rs.ppn).unwrap();
+    assert_eq!(parsed.total_ops(), rs.total_ops());
+    let (grid, counts) = align_to_grid(rs);
+    for (p, row) in rs.processes.iter().zip(&counts) {
+        assert_eq!(row.len(), grid.len());
+        let mut prev = 0;
+        for &c in row {
+            assert!(c >= prev && c <= p.ops_done);
+            prev = c;
+        }
+    }
+}
+
+/// Regression `70cf0840…`: a single process whose trace repeats the same
+/// timestamp (two samples at t=0.1) and finishes on the grid boundary.
+/// Duplicate-timestamp samples once double-counted an interval.
+#[test]
+fn regression_duplicate_timestamp_sample() {
+    let rs = ResultSet {
+        operation: "PropOp".into(),
+        fs_name: "prop-fs".into(),
+        nodes: 1,
+        ppn: 1,
+        interval_s: 0.1,
+        processes: vec![ProcessTrace {
+            hostname: "host0".into(),
+            process_no: 0,
+            samples: vec![(0.1, 1), (0.1, 1)],
+            finished_at: Some(0.1),
+            ops_done: 1,
+            errors: 0,
+        }],
+    };
+    assert_pipeline_invariants(&rs);
+}
+
+/// Regression `1563c59f…`: two all-zero-progress processes, one finishing
+/// at t=0.1 and one at the off-grid float 0.9500000000000001 (an
+/// accumulated 0.1-step sum). Zero total ops once produced NaN COV rows,
+/// and the off-grid finish probed the stonewall cutoff rounding.
+#[test]
+fn regression_zero_ops_off_grid_finish() {
+    let rs = ResultSet {
+        operation: "PropOp".into(),
+        fs_name: "prop-fs".into(),
+        nodes: 1,
+        ppn: 2,
+        interval_s: 0.1,
+        processes: vec![
+            ProcessTrace {
+                hostname: "host0".into(),
+                process_no: 0,
+                samples: vec![(0.1, 0), (0.1, 0)],
+                finished_at: Some(0.1),
+                ops_done: 0,
+                errors: 0,
+            },
+            ProcessTrace {
+                hostname: "host1".into(),
+                process_no: 1,
+                samples: vec![
+                    (0.1, 0),
+                    (0.2, 0),
+                    (0.30000000000000004, 0),
+                    (0.4, 0),
+                    (0.5, 0),
+                    (0.6000000000000001, 0),
+                    (0.7000000000000001, 0),
+                    (0.8, 0),
+                    (0.9, 0),
+                    (0.9500000000000001, 0),
+                ],
+                finished_at: Some(0.9500000000000001),
+                ops_done: 0,
+                errors: 0,
+            },
+        ],
+    };
+    assert_pipeline_invariants(&rs);
 }

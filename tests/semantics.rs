@@ -58,8 +58,13 @@ fn nfs_ttl_caching_semantics() {
     let mut rng = DetRng::new(2);
     let mut m = NfsFs::with_defaults();
     m.register_clients(1);
-    m.plan(ctx(0), &create("/bench/f"), SimTime::from_secs(100), &mut rng)
-        .expect("fresh path");
+    m.plan(
+        ctx(0),
+        &create("/bench/f"),
+        SimTime::from_secs(100),
+        &mut rng,
+    )
+    .expect("fresh path");
     let hit = m
         .plan(ctx(0), &stat("/bench/f"), SimTime::from_secs(101), &mut rng)
         .expect("stat");
@@ -105,7 +110,8 @@ fn rename_across_volumes_is_exdev() {
     gx.plan(ctx(0), &create("/vol0/a"), SimTime::ZERO, &mut rng)
         .expect("fresh path");
     assert_eq!(
-        gx.plan(ctx(0), &rename, SimTime::ZERO, &mut rng).unwrap_err(),
+        gx.plan(ctx(0), &rename, SimTime::ZERO, &mut rng)
+            .unwrap_err(),
         FsError::CrossDevice
     );
     let mut afs = AfsFs::with_defaults();
@@ -113,7 +119,8 @@ fn rename_across_volumes_is_exdev() {
     afs.plan(ctx(0), &create("/vol0/a"), SimTime::ZERO, &mut rng)
         .expect("fresh path");
     assert_eq!(
-        afs.plan(ctx(0), &rename, SimTime::ZERO, &mut rng).unwrap_err(),
+        afs.plan(ctx(0), &rename, SimTime::ZERO, &mut rng)
+            .unwrap_err(),
         FsError::CrossDevice
     );
     // within one volume the rename is fine
@@ -121,7 +128,8 @@ fn rename_across_volumes_is_exdev() {
         from: "/vol0/a".into(),
         to: "/vol0/b".into(),
     };
-    gx.plan(ctx(0), &ok, SimTime::ZERO, &mut rng).expect("same volume");
+    gx.plan(ctx(0), &ok, SimTime::ZERO, &mut rng)
+        .expect("same volume");
 }
 
 /// Uniqueness of file names (§2.6.3): every model rejects a duplicate
@@ -219,7 +227,6 @@ fn mutations_always_reach_a_server() {
         }
     }
 }
-
 
 /// PVFS2's nonconflicting-write semantics (§2.6.1): no client state at all —
 /// even a same-node repeat stat goes back to the server, and there is

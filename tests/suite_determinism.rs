@@ -1,0 +1,84 @@
+//! Property test: a scenario's ShapeReport is **bit-identical** whether the
+//! scenario runs solo or inside the parallel suite, for every work-claim
+//! order and worker count. This is the invariant that makes the parallel
+//! runner safe: scenario bodies are single-threaded discrete-event
+//! simulations on virtual time, so OS-thread scheduling must never leak
+//! into a report.
+//!
+//! Uses the three cheap Chapter-3 scenarios so the property gets real
+//! multi-scenario interleaving without minutes of simulation per case.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+use dmetabench::suite::{self, Scenario};
+
+const FAST_IDS: [&str; 3] = ["exp_tab_3_1", "exp_fig_3_4", "exp_lst_3_3"];
+
+fn fast_scenarios() -> Vec<&'static Scenario> {
+    FAST_IDS
+        .iter()
+        .map(|id| suite::find(id).expect("registered"))
+        .collect()
+}
+
+/// Serialized solo reports, computed once per test process.
+fn solo_reports() -> &'static Vec<String> {
+    static SOLO: OnceLock<Vec<String>> = OnceLock::new();
+    SOLO.get_or_init(|| {
+        fast_scenarios()
+            .iter()
+            .map(|s| {
+                let out = suite::run_scenario(s)
+                    .outcome
+                    .expect("fast scenario does not panic");
+                serde_json::to_string_pretty(&out.report).expect("serializable")
+            })
+            .collect()
+    })
+}
+
+/// The 6 permutations of 3 work items.
+const ORDERS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reports_identical_for_any_schedule(order_idx in 0usize..6, jobs in 1usize..5) {
+        let scenarios = fast_scenarios();
+        let run = suite::run_suite_ordered(&scenarios, jobs, &ORDERS[order_idx]);
+        for (result, solo) in run.results.iter().zip(solo_reports()) {
+            let report = &result.outcome.as_ref().expect("no panic").report;
+            let json = serde_json::to_string_pretty(report).expect("serializable");
+            prop_assert_eq!(
+                &json,
+                solo,
+                "scenario {} differs between solo and parallel (order {:?}, jobs {})",
+                result.scenario.id,
+                ORDERS[order_idx],
+                jobs
+            );
+        }
+    }
+}
+
+/// The sorted-by-cost default claim order also reproduces the solo reports
+/// (what `dmetabench suite --jobs N` actually executes).
+#[test]
+fn default_claim_order_matches_solo_runs() {
+    let scenarios = fast_scenarios();
+    let run = suite::run_suite(&scenarios, 4);
+    for (result, solo) in run.results.iter().zip(solo_reports()) {
+        let report = &result.outcome.as_ref().expect("no panic").report;
+        let json = serde_json::to_string_pretty(report).expect("serializable");
+        assert_eq!(&json, solo, "scenario {}", result.scenario.id);
+    }
+}

@@ -1,0 +1,59 @@
+//! The shape-regression suite under `cargo test`: run every registered
+//! scenario, require all shape checks to hold, and require every report to
+//! match its checked-in baseline in `baselines/*.json`.
+//!
+//! This is the same comparison `dmetabench suite` performs; failing it
+//! means a change moved a measured shape (saturation point, plateau ratio,
+//! crossover, exact Table 3.1 / Fig. 3.4 value, …). If the movement is
+//! intended, regenerate the baselines with
+//! `cargo run --release -p dmetabench --bin dmetabench -- suite --bless`
+//! and commit the diff.
+
+use dmetabench::{baseline, suite};
+
+#[test]
+fn all_scenarios_hold_their_shapes_and_match_baselines() {
+    let scenarios: Vec<&'static suite::Scenario> = suite::registry().iter().collect();
+    let run = suite::run_suite(&scenarios, suite::default_jobs());
+    assert_eq!(run.results.len(), scenarios.len());
+
+    let mut problems = Vec::new();
+    for result in &run.results {
+        let id = result.scenario.id;
+        let output = match &result.outcome {
+            Err(msg) => {
+                problems.push(format!("{id}: panicked: {msg}"));
+                continue;
+            }
+            Ok(o) => o,
+        };
+        for check in &output.report.checks {
+            if !check.passed {
+                problems.push(format!(
+                    "{id}: check '{}' failed: {}",
+                    check.name, check.detail
+                ));
+            }
+        }
+        match baseline::load(id) {
+            Err(e) => problems.push(format!("{id}: cannot read baseline: {e}")),
+            Ok(None) => problems.push(format!(
+                "{id}: no baseline — run `dmetabench suite --bless` and commit baselines/{id}.json"
+            )),
+            Ok(Some(expected)) => {
+                if let baseline::BaselineStatus::Mismatch(reasons) =
+                    baseline::compare(&expected, &output.report)
+                {
+                    for r in reasons {
+                        problems.push(format!("{id}: baseline mismatch: {r}"));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "shape suite failed:\n  {}",
+        problems.join("\n  ")
+    );
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use. Instead of
+//! statistical sampling it runs each benchmark closure a small fixed number
+//! of iterations and prints mean wall-clock time — enough to eyeball
+//! regressions and to keep `cargo bench` compiling without crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const ITERS: u32 = 10;
+
+/// Benchmark driver (stub).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a named benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks (stub).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored in the stub (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored in the stub (kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a named benchmark closure within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Run a parameterized benchmark closure within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Batch-size hint for `iter_batched` (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `f` with untimed per-iteration setup.
+    pub fn iter_batched<S, O, SF, F>(&mut self, mut setup: SF, mut f: F, _size: BatchSize)
+    where
+        SF: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(f(input));
+            self.total_nanos += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<50} (no iterations)");
+        } else {
+            let mean = self.total_nanos / self.iters as u128;
+            println!(
+                "bench {name:<50} {mean:>12} ns/iter (stub, {} iters)",
+                self.iters
+            );
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
