@@ -16,8 +16,8 @@ use std::collections::HashMap;
 
 use dfs::{BackgroundJob, ClientCtx, DistFs, MetaOp, OpPlan, Stage};
 use simcore::{
-    DetRng, FifoResource, JobId, LatencyHistogram, PsResource, Scheduler, Semaphore, SimDuration,
-    SimTime,
+    telemetry, DetRng, FifoResource, JobId, LatencyHistogram, PsResource, Scheduler, Semaphore,
+    SimDuration, SimTime,
 };
 
 /// A source of operations for one worker.
@@ -262,6 +262,28 @@ struct WState {
     samples: Vec<(SimTime, u64)>,
     op_started: SimTime,
     latency: LatencyHistogram,
+    /// Telemetry label of the operation in flight.
+    op_name: &'static str,
+    /// When the worker started blocking on a semaphore (telemetry only).
+    sem_wait_start: Option<SimTime>,
+}
+
+/// Telemetry span name for an operation.
+fn op_label(op: &MetaOp) -> &'static str {
+    match op {
+        MetaOp::Create { .. } => "create",
+        MetaOp::Mkdir { .. } => "mkdir",
+        MetaOp::Unlink { .. } => "unlink",
+        MetaOp::Rmdir { .. } => "rmdir",
+        MetaOp::Stat { .. } => "stat",
+        MetaOp::OpenClose { .. } => "open-close",
+        MetaOp::Readdir { .. } => "readdir",
+        MetaOp::Rename { .. } => "rename",
+        MetaOp::Link { .. } => "link",
+        MetaOp::Symlink { .. } => "symlink",
+        MetaOp::Chmod { .. } => "chmod",
+        MetaOp::Utimes { .. } => "utimes",
+    }
 }
 
 /// Run one benchmark iteration on a model.
@@ -288,6 +310,22 @@ pub fn run_sim(
     }
     model.register_clients(nodes);
     let resources = model.resources();
+    // One trace "process" per engine run, with one named track per worker
+    // and per server resource (all no-ops unless a telemetry capture is
+    // active on this thread).
+    let pid = telemetry::begin_run(model.name());
+    if telemetry::enabled() {
+        for (w, spec) in workers.iter().enumerate() {
+            telemetry::name_track(
+                pid,
+                telemetry::worker_tid(w),
+                &format!("{}/p{}", node_names[spec.node], spec.proc),
+            );
+        }
+        for (s, spec) in resources.servers.iter().enumerate() {
+            telemetry::name_track(pid, telemetry::server_tid(s), &spec.name);
+        }
+    }
     let mut servers: Vec<FifoResource> = resources
         .servers
         .iter()
@@ -317,9 +355,11 @@ pub fn run_sim(
             samples: Vec::new(),
             op_started: SimTime::ZERO,
             latency: LatencyHistogram::new(),
+            op_name: "op",
+            sem_wait_start: None,
         })
         .collect();
-    let mut bg_jobs: HashMap<u64, BackgroundJob> = HashMap::new();
+    let mut bg_jobs: HashMap<u64, (BackgroundJob, SimTime)> = HashMap::new();
     let mut next_bg: u64 = BG_BASE;
     let mut unfinished = states.len();
 
@@ -391,14 +431,18 @@ pub fn run_sim(
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn apply_pause(
         sched: &mut Scheduler<Ev>,
         servers: &mut [FifoResource],
         server: usize,
         duration: SimDuration,
         now: SimTime,
+        pid: u32,
+        label: &'static str,
     ) {
         let until = now + duration;
+        telemetry::span(pid, telemetry::server_tid(server), label, "cp", now, until);
         servers[server].pause_until(until);
         sched.schedule_at(until, Ev::PauseEnd { server });
     }
@@ -413,11 +457,12 @@ pub fn run_sim(
         streams: &mut [Box<dyn OpStream>],
         sched: &mut Scheduler<Ev>,
         servers: &mut [FifoResource],
-        bg_jobs: &mut HashMap<u64, BackgroundJob>,
+        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime)>,
         next_bg: &mut u64,
         rng: &mut DetRng,
         deadline: Option<SimTime>,
         unfinished: &mut usize,
+        pid: u32,
     ) -> bool {
         // returns true if the worker obtained a plan and should advance
         let now = sched.now();
@@ -438,13 +483,14 @@ pub fn run_sim(
             match model.plan(client, &op, now, rng) {
                 Ok(plan) => {
                     states[w].op_started = now;
+                    states[w].op_name = op_label(&op);
                     for &(server, dur) in &plan.pauses {
-                        apply_pause(sched, servers, server.0, dur, now);
+                        apply_pause(sched, servers, server.0, dur, now, pid, "consistency-point");
                     }
                     for job in &plan.background {
                         let id = JobId(*next_bg);
                         *next_bg += 1;
-                        bg_jobs.insert(id.0, *job);
+                        bg_jobs.insert(id.0, (*job, now));
                         server_arrive(sched, servers, job.server.0, id, job.demand, now);
                     }
                     let st = &mut states[w];
@@ -481,15 +527,26 @@ pub fn run_sim(
         cpus: &mut [PsResource],
         servers: &mut [FifoResource],
         sems: &mut [Semaphore],
-        bg_jobs: &mut HashMap<u64, BackgroundJob>,
+        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime)>,
         next_bg: &mut u64,
         rng: &mut DetRng,
         deadline: Option<SimTime>,
         unfinished: &mut usize,
+        pid: u32,
     ) {
         let job = JobId(w as u64);
         loop {
             let now = sched.now();
+            if let Some(wait_start) = states[w].sem_wait_start.take() {
+                telemetry::span(
+                    pid,
+                    telemetry::worker_tid(w),
+                    "sem-wait",
+                    "lock",
+                    wait_start,
+                    now,
+                );
+            }
             let op_complete = {
                 let st = &states[w];
                 let plan = st.plan.as_ref().expect("advance() with no active plan");
@@ -500,10 +557,19 @@ pub fn run_sim(
                 st.ops_done += 1;
                 let lat = now.saturating_since(st.op_started);
                 st.latency.push(lat);
+                telemetry::span(
+                    pid,
+                    telemetry::worker_tid(w),
+                    st.op_name,
+                    "op",
+                    st.op_started,
+                    now,
+                );
+                telemetry::observe("op.latency", lat);
                 st.plan = None;
                 if !start_op(
                     w, model, states, streams, sched, servers, bg_jobs, next_bg, rng, deadline,
-                    unfinished,
+                    unfinished, pid,
                 ) {
                     return;
                 }
@@ -535,6 +601,9 @@ pub fn run_sim(
                         states[w].stage += 1;
                         continue;
                     }
+                    if telemetry::enabled() {
+                        states[w].sem_wait_start = Some(now);
+                    }
                     return; // resumed by a ReleaseSem / background release
                 }
                 Stage::ReleaseSem { sem } => {
@@ -563,6 +632,7 @@ pub fn run_sim(
             &mut rng,
             deadline,
             &mut unfinished,
+            pid,
         ) {
             advance(
                 w,
@@ -578,6 +648,7 @@ pub fn run_sim(
                 &mut rng,
                 deadline,
                 &mut unfinished,
+                pid,
             );
         }
     }
@@ -609,6 +680,7 @@ pub fn run_sim(
                     &mut rng,
                     deadline,
                     &mut unfinished,
+                    pid,
                 );
             }
             Ev::CpuDone { node, generation } => {
@@ -631,7 +703,15 @@ pub fn run_sim(
                 }
                 if job.0 >= BG_BASE && job.0 < HOG_BASE {
                     // background job finished
-                    if let Some(bg) = bg_jobs.remove(&job.0) {
+                    if let Some((bg, arrived)) = bg_jobs.remove(&job.0) {
+                        telemetry::span(
+                            pid,
+                            telemetry::server_tid(bg.server.0),
+                            bg.label.unwrap_or("background"),
+                            "bg",
+                            arrived,
+                            now,
+                        );
                         model.on_background_complete(bg.server, now);
                         if let Some(sem) = bg.release_sem {
                             if let Some(granted) = sems[sem.0].release() {
@@ -667,7 +747,15 @@ pub fn run_sim(
             Ev::ModelTimer => {
                 let action = model.on_timer(now);
                 for (server, dur) in action.pauses {
-                    apply_pause(&mut sched, &mut servers, server.0, dur, now);
+                    apply_pause(
+                        &mut sched,
+                        &mut servers,
+                        server.0,
+                        dur,
+                        now,
+                        pid,
+                        "consistency-point",
+                    );
                 }
                 if let Some(next) = action.next {
                     if unfinished > 0 {
@@ -687,7 +775,15 @@ pub fn run_sim(
                 Disturbance::ServerPause {
                     server, duration, ..
                 } => {
-                    apply_pause(&mut sched, &mut servers, *server, *duration, now);
+                    apply_pause(
+                        &mut sched,
+                        &mut servers,
+                        *server,
+                        *duration,
+                        now,
+                        pid,
+                        "server-pause",
+                    );
                 }
                 Disturbance::ServerLoad {
                     server,
@@ -700,11 +796,15 @@ pub fn run_sim(
                     next_bg += 1;
                     bg_jobs.insert(
                         id.0,
-                        BackgroundJob {
-                            server: dfs::ServerId(*server),
-                            demand: *demand,
-                            release_sem: None,
-                        },
+                        (
+                            BackgroundJob {
+                                server: dfs::ServerId(*server),
+                                demand: *demand,
+                                release_sem: None,
+                                label: Some("server-load"),
+                            },
+                            now,
+                        ),
                     );
                     server_arrive(&mut sched, &mut servers, *server, id, *demand, now);
                     if now + *interval < *end && unfinished > 0 {

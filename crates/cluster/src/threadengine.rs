@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use dfs::MetaOp;
 use memfs::{FsResult, OpenFlags, Vfs};
-use simcore::{SimDuration, SimTime};
+use simcore::{telemetry, SimDuration, SimTime};
 
 use crate::simengine::{SimRunResult, WorkerTrace};
 
@@ -221,6 +221,31 @@ pub fn run_threads(
             }
         })
         .collect();
+    // Worker threads cannot see the capturing thread's telemetry sink, so
+    // the per-worker summary is recorded here, after the join. Timestamps
+    // are the workers' wall-clock run times mapped onto the trace timeline.
+    if telemetry::enabled() {
+        let pid = telemetry::begin_run(&fs_name);
+        for (w, tr) in workers.iter().enumerate() {
+            telemetry::name_track(
+                pid,
+                telemetry::worker_tid(w),
+                &format!("{}/p{}", tr.node_name, tr.proc),
+            );
+            if let Some(f) = tr.finished_at {
+                telemetry::span(
+                    pid,
+                    telemetry::worker_tid(w),
+                    "worker",
+                    "real",
+                    SimTime::ZERO,
+                    f,
+                );
+            }
+            telemetry::count("real.ops", tr.ops_done);
+            telemetry::count("real.errors", tr.errors);
+        }
+    }
     let wall_time = workers
         .iter()
         .filter_map(|w| w.finished_at)

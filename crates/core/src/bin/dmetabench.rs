@@ -28,6 +28,10 @@ SUITE OPTIONS:
   --bless                    rewrite baselines/*.json from this run
   --emit-md <PATH>           regenerate EXPERIMENTS.md at PATH
   --list                     list registered scenarios and exit
+  --trace-out <DIR>          write per-scenario Chrome traces (<id>.trace.json,
+                             Perfetto-loadable) and metrics summaries
+                             (<id>.metrics.json) into DIR
+  --metrics                  print each scenario's metrics summary JSON
 
 OPTIONS:
   --mode <sim|real>          execution mode               [default: sim]
@@ -45,6 +49,9 @@ OPTIONS:
   --label <TEXT>             result label                 [default: cli-run]
   --output <DIR>             write result files here
   --threads <N>              real mode: max worker threads [default: 4]
+  --trace-out <DIR>          write a Chrome trace (<label>.trace.json) and a
+                             metrics summary (<label>.metrics.json) into DIR
+  --metrics                  print the run's metrics summary JSON
   --list-operations          print available plugins and exit
   --help                     print this help
 
@@ -61,6 +68,8 @@ struct Cli {
     slots_per_node: usize,
     threads: usize,
     output: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics: bool,
     params: BenchParams,
 }
 
@@ -72,6 +81,8 @@ fn parse_args() -> Result<Option<Cli>, String> {
         slots_per_node: 2,
         threads: 4,
         output: None,
+        trace_out: None,
+        metrics: false,
         params: BenchParams {
             label: "cli-run".into(),
             ..BenchParams::default()
@@ -149,6 +160,8 @@ fn parse_args() -> Result<Option<Cli>, String> {
             }
             "--label" => cli.params.label = value("--label")?,
             "--output" => cli.output = Some(PathBuf::from(value("--output")?)),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics" => cli.metrics = true,
             other => return Err(format!("unknown option '{other}' (try --help)")),
         }
     }
@@ -179,6 +192,8 @@ struct SuiteCli {
     bless: bool,
     emit_md: Option<PathBuf>,
     list: bool,
+    trace_out: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn parse_suite_args(args: &[String]) -> Result<Option<SuiteCli>, String> {
@@ -188,6 +203,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteCli>, String> {
         bless: false,
         emit_md: None,
         list: false,
+        trace_out: None,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -213,6 +230,8 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteCli>, String> {
             "--bless" => cli.bless = true,
             "--emit-md" => cli.emit_md = Some(PathBuf::from(value("--emit-md")?)),
             "--list" => cli.list = true,
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics" => cli.metrics = true,
             other => return Err(format!("unknown suite option '{other}' (try --help)")),
         }
     }
@@ -262,7 +281,42 @@ fn suite_main(args: &[String]) -> ExitCode {
         scenarios.len(),
         cli.jobs
     );
-    let run = suite::run_suite(&scenarios, cli.jobs);
+    let traced = cli.trace_out.is_some() || cli.metrics;
+    let run = if traced {
+        suite::run_suite_traced(&scenarios, cli.jobs)
+    } else {
+        suite::run_suite(&scenarios, cli.jobs)
+    };
+
+    if let Some(dir) = &cli.trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for result in &run.results {
+        let Some(telemetry) = &result.telemetry else {
+            continue;
+        };
+        if let Some(dir) = &cli.trace_out {
+            let trace_path = dir.join(format!("{}.trace.json", result.scenario.id));
+            let metrics_path = dir.join(format!("{}.metrics.json", result.scenario.id));
+            for (path, content) in [
+                (&trace_path, telemetry.to_chrome_trace_json()),
+                (&metrics_path, telemetry.to_metrics_json()),
+            ] {
+                if let Err(e) = std::fs::write(path, content) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!("[trace] {}", trace_path.display());
+        }
+        if cli.metrics {
+            println!("=== {} metrics ===", result.scenario.id);
+            println!("{}", telemetry.to_metrics_json());
+        }
+    }
 
     let mut failures = 0usize;
     for result in &run.results {
@@ -364,53 +418,84 @@ fn main() -> ExitCode {
         }
     };
 
-    let campaign = match cli.mode.as_str() {
-        "sim" => {
-            let factory = match model_factory(&cli.fs) {
-                Ok(f) => f,
-                Err(msg) => {
-                    eprintln!("error: {msg}");
-                    return ExitCode::FAILURE;
+    let run_campaign = || -> Result<dmetabench::Campaign, String> {
+        match cli.mode.as_str() {
+            "sim" => {
+                let factory = model_factory(&cli.fs)?;
+                // volume-addressed models need volume-prefixed directories
+                let mut params = cli.params.clone();
+                if matches!(cli.fs.as_str(), "ontapgx" | "afs") && params.path_list.is_none() {
+                    params.workdir = format!("/vol0{}", params.workdir);
                 }
-            };
-            // volume-addressed models need volume-prefixed directories
-            let mut params = cli.params.clone();
-            if matches!(cli.fs.as_str(), "ontapgx" | "afs") && params.path_list.is_none() {
-                params.workdir = format!("/vol0{}", params.workdir);
+                let world = MpiWorld::uniform(cli.nodes, cli.slots_per_node);
+                let placement = Placement::discover(&world);
+                eprintln!(
+                    "simulated world: {} nodes x {} slots, model '{}', master rank {}",
+                    cli.nodes, cli.slots_per_node, cli.fs, placement.master_rank
+                );
+                Ok(Runner::new(params).run_simulated(&placement, factory, &SimConfig::default()))
             }
-            let world = MpiWorld::uniform(cli.nodes, cli.slots_per_node);
-            let placement = Placement::discover(&world);
-            eprintln!(
-                "simulated world: {} nodes x {} slots, model '{}', master rank {}",
-                cli.nodes, cli.slots_per_node, cli.fs, placement.master_rank
-            );
-            Runner::new(params).run_simulated(&placement, factory, &SimConfig::default())
+            "real" => {
+                let workdir = cli.params.workdir.clone();
+                eprintln!(
+                    "real mode: up to {} worker threads on {}",
+                    cli.threads, workdir
+                );
+                let mut params = cli.params.clone();
+                // StdFs jails paths under its root; plugins see "/"
+                params.workdir = "/".into();
+                Ok(Runner::new(params).run_real(
+                    move |_| {
+                        Box::new(
+                            memfs::StdFs::new(&workdir)
+                                .expect("working directory must be creatable/writable"),
+                        )
+                    },
+                    cli.threads,
+                    &ThreadRunConfig::default(),
+                ))
+            }
+            other => Err(format!("unknown --mode '{other}'")),
         }
-        "real" => {
-            let workdir = cli.params.workdir.clone();
-            eprintln!(
-                "real mode: up to {} worker threads on {}",
-                cli.threads, workdir
-            );
-            let mut params = cli.params.clone();
-            // StdFs jails paths under its root; plugins see "/"
-            params.workdir = "/".into();
-            Runner::new(params).run_real(
-                move |_| {
-                    Box::new(
-                        memfs::StdFs::new(&workdir)
-                            .expect("working directory must be creatable/writable"),
-                    )
-                },
-                cli.threads,
-                &ThreadRunConfig::default(),
-            )
-        }
-        other => {
-            eprintln!("error: unknown --mode '{other}'");
+    };
+    let traced = cli.trace_out.is_some() || cli.metrics;
+    let (campaign, telemetry) = if traced {
+        let (campaign, report) = simcore::telemetry::capture(run_campaign);
+        (campaign, Some(report))
+    } else {
+        (run_campaign(), None)
+    };
+    let campaign = match campaign {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(telemetry) = &telemetry {
+        if let Some(dir) = &cli.trace_out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let trace_path = dir.join(format!("{}.trace.json", cli.params.label));
+            let metrics_path = dir.join(format!("{}.metrics.json", cli.params.label));
+            for (path, content) in [
+                (&trace_path, telemetry.to_chrome_trace_json()),
+                (&metrics_path, telemetry.to_metrics_json()),
+            ] {
+                if let Err(e) = std::fs::write(path, content) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!("[trace] {}", trace_path.display());
+        }
+        if cli.metrics {
+            println!("{}", telemetry.to_metrics_json());
+        }
+    }
 
     print!("{}", campaign.summary_tsv());
     if let Some(dir) = cli.output {

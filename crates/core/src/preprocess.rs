@@ -241,8 +241,8 @@ mod tests {
     /// interpolations consistent with those totals.
     fn listing_3_3() -> ResultSet {
         let p = |host: &str, no: usize, samples: Vec<(f64, u64)>| {
-            let finished_at = Some(samples.last().unwrap().0);
-            let ops_done = samples.last().unwrap().1;
+            let finished_at = samples.last().map(|&(t, _)| t);
+            let ops_done = samples.last().map(|&(_, n)| n).unwrap_or(0);
             ProcessTrace {
                 hostname: host.into(),
                 process_no: no,
@@ -323,6 +323,54 @@ mod tests {
                 ),
             ],
         }
+    }
+
+    #[test]
+    fn empty_sample_traces_do_not_panic() {
+        // A worker killed at the stonewall before its first sample tick
+        // produces an empty trace; preprocessing must cope.
+        let rs = ResultSet {
+            operation: "MakeFiles".into(),
+            fs_name: "nfs-wafl".into(),
+            nodes: 1,
+            ppn: 2,
+            interval_s: 0.1,
+            processes: vec![
+                ProcessTrace {
+                    hostname: "lx64a153".into(),
+                    process_no: 0,
+                    samples: vec![(0.1, 10), (0.2, 20)],
+                    finished_at: Some(0.2),
+                    ops_done: 20,
+                    errors: 0,
+                },
+                ProcessTrace {
+                    hostname: "lx64a153".into(),
+                    process_no: 1,
+                    samples: Vec::new(),
+                    finished_at: None,
+                    ops_done: 0,
+                    errors: 0,
+                },
+            ],
+        };
+        let pre = preprocess(&rs, &[10]);
+        assert_eq!(pre.total_processes, 2);
+        assert!(pre.stonewall_avg.is_finite());
+
+        let all_empty = ResultSet {
+            processes: vec![ProcessTrace {
+                hostname: "lx64a153".into(),
+                process_no: 0,
+                samples: Vec::new(),
+                finished_at: None,
+                ops_done: 0,
+                errors: 0,
+            }],
+            ..rs
+        };
+        let pre = preprocess(&all_empty, &[10]);
+        assert!(pre.intervals.is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use cluster::{
 };
 use dfs::{ClientCtx, DistFs, MetaOp};
 use memfs::Vfs;
-use simcore::{DetRng, SimTime};
+use simcore::{telemetry, DetRng, SimTime};
 
 use crate::params::{BenchParams, WorkerCtx};
 use crate::plugin::{plugin_by_name, BenchmarkPlugin, ProblemMode};
@@ -152,6 +152,7 @@ impl Runner {
         let mut results = Vec::new();
         for spec in &plan {
             for plugin in &plugins {
+                telemetry::count("runner.combos", 1);
                 let mut model = model_factory();
                 let run =
                     self.run_one_sim(placement, spec, plugin.as_ref(), &mut model, sim_config);
@@ -219,6 +220,7 @@ impl Runner {
         let mut rng = DetRng::new(sim_config.seed ^ 0x5051_4541);
         for ctx in &ctxs {
             for op in plugin.prepare_ops(ctx) {
+                telemetry::count("runner.prepare_ops", 1);
                 let client = ClientCtx {
                     node: ctx.node,
                     proc: ctx.proc,
@@ -257,6 +259,7 @@ impl Runner {
         let mut rng = DetRng::new(sim_config.seed ^ 0x434c_4e55);
         for (ctx, trace) in ctxs.iter().zip(&run.workers) {
             for op in plugin.cleanup_ops(ctx, trace.ops_done) {
+                telemetry::count("runner.cleanup_ops", 1);
                 let client = ClientCtx {
                     node: ctx.node,
                     proc: ctx.proc,
@@ -286,6 +289,7 @@ impl Runner {
         let mut ppn = 1;
         while ppn <= max_ppn {
             for plugin in &plugins {
+                telemetry::count("runner.combos", 1);
                 let workers: Vec<(usize, usize)> = (0..ppn).map(|p| (0usize, p)).collect();
                 let ctxs = WorkerCtx::build(&workers, &self.params, 1);
                 // prepare

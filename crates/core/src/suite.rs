@@ -314,29 +314,55 @@ pub struct ScenarioRunResult {
     pub outcome: Result<ScenarioOutput, String>,
     /// Wall-clock seconds this scenario took.
     pub wall_secs: f64,
+    /// Telemetry captured during the run (traced runs only).
+    pub telemetry: Option<simcore::TelemetryReport>,
 }
 
 /// Run one scenario, catching panics.
 pub fn run_scenario(scenario: &'static Scenario) -> ScenarioRunResult {
+    run_scenario_inner(scenario, false)
+}
+
+/// Run one scenario with the [`simcore::telemetry`] sink enabled; the
+/// captured spans/counters/histograms come back in
+/// [`ScenarioRunResult::telemetry`]. Telemetry is stamped with virtual
+/// time only, so the report is bit-identical across repeat runs and
+/// unaffected by sibling scenarios on other threads.
+pub fn run_scenario_traced(scenario: &'static Scenario) -> ScenarioRunResult {
+    run_scenario_inner(scenario, true)
+}
+
+fn run_scenario_inner(scenario: &'static Scenario, traced: bool) -> ScenarioRunResult {
     let t0 = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut b = ReportBuilder::new(scenario);
-        (scenario.run)(&mut b);
-        b.finish()
-    }))
-    .map_err(|e| {
-        if let Some(s) = e.downcast_ref::<String>() {
-            s.clone()
-        } else if let Some(s) = e.downcast_ref::<&str>() {
-            (*s).to_owned()
-        } else {
-            "scenario panicked".to_owned()
-        }
-    });
+    let body = || {
+        // catch_unwind sits *inside* the telemetry capture so a panicking
+        // scenario still yields whatever events it recorded before dying.
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut b = ReportBuilder::new(scenario);
+            (scenario.run)(&mut b);
+            b.finish()
+        }))
+        .map_err(|e| {
+            if let Some(s) = e.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = e.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else {
+                "scenario panicked".to_owned()
+            }
+        })
+    };
+    let (outcome, telemetry) = if traced {
+        let (outcome, report) = simcore::telemetry::capture(body);
+        (outcome, Some(report))
+    } else {
+        (body(), None)
+    };
     ScenarioRunResult {
         scenario,
         outcome,
         wall_secs: t0.elapsed().as_secs_f64(),
+        telemetry,
     }
 }
 
@@ -363,12 +389,15 @@ impl SuiteRun {
 /// queue does not affect any report (scenario bodies are independent
 /// single-threaded simulations).
 pub fn run_suite(scenarios: &[&'static Scenario], jobs: usize) -> SuiteRun {
-    // Claim expensive scenarios first: with a shared work queue this keeps
-    // the long poles off the tail of the schedule. Purely a latency
-    // optimization — reports are identical for any claim order.
-    let mut order: Vec<usize> = (0..scenarios.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(scenarios[i].cost_hint));
-    run_suite_ordered(scenarios, jobs, &order)
+    run_suite_inner(scenarios, jobs, &default_order(scenarios), false)
+}
+
+/// [`run_suite`] with the telemetry sink enabled per scenario; each
+/// [`ScenarioRunResult`] carries its captured trace. Telemetry is scoped
+/// per worker thread, so traces are bit-identical for any `jobs` level or
+/// claim order.
+pub fn run_suite_traced(scenarios: &[&'static Scenario], jobs: usize) -> SuiteRun {
+    run_suite_inner(scenarios, jobs, &default_order(scenarios), true)
 }
 
 /// [`run_suite`] with an explicit work-claim order (a permutation of
@@ -382,6 +411,37 @@ pub fn run_suite_ordered(
     scenarios: &[&'static Scenario],
     jobs: usize,
     order: &[usize],
+) -> SuiteRun {
+    run_suite_inner(scenarios, jobs, order, false)
+}
+
+/// [`run_suite_ordered`] with telemetry capture, for the determinism tests.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the scenario indices.
+pub fn run_suite_ordered_traced(
+    scenarios: &[&'static Scenario],
+    jobs: usize,
+    order: &[usize],
+) -> SuiteRun {
+    run_suite_inner(scenarios, jobs, order, true)
+}
+
+/// Claim expensive scenarios first: with a shared work queue this keeps
+/// the long poles off the tail of the schedule. Purely a latency
+/// optimization — reports are identical for any claim order.
+fn default_order(scenarios: &[&'static Scenario]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scenarios.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(scenarios[i].cost_hint));
+    order
+}
+
+fn run_suite_inner(
+    scenarios: &[&'static Scenario],
+    jobs: usize,
+    order: &[usize],
+    traced: bool,
 ) -> SuiteRun {
     let mut seen = vec![false; scenarios.len()];
     for &i in order {
@@ -405,7 +465,7 @@ pub fn run_suite_ordered(
                     break;
                 }
                 let idx = order[k];
-                let result = run_scenario(scenarios[idx]);
+                let result = run_scenario_inner(scenarios[idx], traced);
                 *slots[idx].lock().expect("slot lock") = Some(result);
             });
         }
@@ -592,7 +652,10 @@ pub fn emit_markdown(run: &SuiteRun) -> String {
          Per-scenario binaries still exist (`cargo run --release -p bench --bin\n\
          exp_fig_4_4`) and exit non-zero if their shape checks fail.\n\
          \n\
-         Charts are written to `target/experiments/*.svg`.\n",
+         Charts are written to `target/experiments/*.svg`. Passing\n\
+         `--trace-out <dir>` to `dmetabench suite` additionally writes a\n\
+         Chrome/Perfetto trace and a metrics summary per scenario (see the\n\
+         README's Observability section).\n",
     );
     let mut current_group = "";
     for result in &run.results {

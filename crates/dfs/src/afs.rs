@@ -20,7 +20,7 @@ use crate::plan::{
 };
 use memfs::{FsError, FsResult, MemFs, MemFsConfig};
 use netsim::{LinkSpec, RpcProfile};
-use simcore::{DetRng, SimDuration, SimTime};
+use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
 /// A volume served by one AFS file server.
 #[derive(Debug, Clone)]
@@ -222,7 +222,11 @@ impl DistFs for AfsFs {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.callback_caches[client.node].lookup(path) =>
             {
+                telemetry::count("afs.callback_cache.hit", 1);
                 return Ok(OpPlan::local(self.config.cached_stat_cpu));
+            }
+            MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
+                telemetry::count("afs.callback_cache.miss", 1);
             }
             _ => {}
         }
@@ -252,6 +256,7 @@ impl DistFs for AfsFs {
         // first touch of a volume from this node: VLDB round trip
         let vol_key = format!("vldb:{volume}");
         if !self.vldb_caches[client.node].lookup(&vol_key, now) {
+            telemetry::count("afs.vldb_lookup", 1);
             stages.push(Stage::NetDelay {
                 delay: link.one_way(profile.request_bytes, rng),
             });
@@ -267,6 +272,7 @@ impl DistFs for AfsFs {
         stages.push(Stage::NetDelay {
             delay: link.one_way(profile.request_bytes, rng),
         });
+        telemetry::count("afs.rpc", 1);
         stages.push(Stage::Server { server, demand });
         stages.push(Stage::NetDelay {
             delay: link.one_way(profile.response_bytes, rng),

@@ -28,7 +28,7 @@ use crate::plan::{
 };
 use memfs::{FsResult, MemFs, MemFsConfig};
 use netsim::{LinkSpec, RpcProfile};
-use simcore::{DetRng, SimDuration, SimTime};
+use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
 /// Tunables of the Lustre model.
 #[derive(Debug, Clone)]
@@ -208,7 +208,11 @@ impl DistFs for LustreFs {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.lock_caches[client.node].lookup(path) =>
             {
+                telemetry::count("lustre.lock_cache.hit", 1);
                 return Ok(OpPlan::local(self.config.cached_stat_cpu));
+            }
+            MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
+                telemetry::count("lustre.lock_cache.miss", 1);
             }
             _ => {}
         }
@@ -225,11 +229,16 @@ impl DistFs for LustreFs {
             // window slot for the uncommitted-operation copy (§4.8)
             if let Some(wb) = self.wb_sem(client.node) {
                 stages.push(Stage::AcquireSem { sem: wb });
+                // the journal commit is Lustre's consistency point: the
+                // moment the uncommitted client-held copy becomes durable
+                // server-side state (§4.8)
                 background.push(BackgroundJob {
                     server: LUSTRE_COMMIT,
                     demand: self.config.commit_demand,
                     release_sem: Some(wb),
+                    label: Some("consistency-point"),
                 });
+                telemetry::count("lustre.commit", 1);
             }
             // single modifying RPC in flight per node
             stages.push(Stage::AcquireSem {
@@ -252,6 +261,7 @@ impl DistFs for LustreFs {
         stages.push(Stage::NetDelay {
             delay: link.one_way(profile.request_bytes, rng),
         });
+        telemetry::count("lustre.rpc", 1);
         stages.push(Stage::Server {
             server: LUSTRE_MDS,
             demand,
@@ -278,7 +288,9 @@ impl DistFs for LustreFs {
                     server,
                     demand: self.config.precreate_demand,
                     release_sem: None,
+                    label: Some("precreate"),
                 });
+                telemetry::count("lustre.precreate", 1);
             }
         }
         Ok(OpPlan {

@@ -23,7 +23,7 @@ use crate::plan::{
 };
 use memfs::{FsResult, MemFs, MemFsConfig};
 use netsim::{LinkSpec, RpcProfile};
-use simcore::{DetRng, SimDuration, SimTime};
+use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
 /// Tunables of the NFS/WAFL model.
 #[derive(Debug, Clone)]
@@ -131,6 +131,8 @@ impl NfsFs {
     /// Trigger a filer snapshot now (disturbance of Fig. 4.5); returns the
     /// pause the engine should apply to the server.
     pub fn trigger_snapshot(&mut self, rng: &mut DetRng) -> (ServerId, SimDuration) {
+        telemetry::count("nfs.snapshot", 1);
+        telemetry::count("nfs.consistency_point", 1);
         self.snapshots_taken += 1;
         let name = format!("snap{}", self.snapshots_taken);
         let _ = self.server_fs.snapshot_create(&name);
@@ -201,7 +203,11 @@ impl DistFs for NfsFs {
         // Reads that the client may answer locally (close-to-open + TTL).
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path } if cache.lookup(path, now) => {
+                telemetry::count("nfs.attr_cache.hit", 1);
                 return Ok(OpPlan::local(self.config.cached_stat_cpu));
+            }
+            MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
+                telemetry::count("nfs.attr_cache.miss", 1);
             }
             _ => {}
         }
@@ -213,6 +219,7 @@ impl DistFs for NfsFs {
             _ => RpcProfile::metadata(),
         };
         let mut plan = self.rpc_plan(demand, profile, rng);
+        telemetry::count("nfs.rpc", 1);
         if op.is_mutation() {
             let data = if let MetaOp::Create { data_bytes, .. } = op {
                 *data_bytes
@@ -225,6 +232,7 @@ impl DistFs for NfsFs {
                 plan.pauses.push((NFS_SERVER, self.cp_pause()));
                 self.dirty_bytes = 0;
                 self.consistency_points += 1;
+                telemetry::count("nfs.consistency_point", 1);
             }
             // The reply carries fresh attributes (post-op attr in NFSv3).
             self.attr_caches[client.node].fill(op.primary_path(), now);
@@ -244,6 +252,7 @@ impl DistFs for NfsFs {
             pauses.push((NFS_SERVER, self.cp_pause()));
             self.dirty_bytes = 0;
             self.consistency_points += 1;
+            telemetry::count("nfs.consistency_point", 1);
         }
         TimerAction {
             next: Some(now + self.config.cp_interval),

@@ -20,7 +20,7 @@ use crate::op::MetaOp;
 use crate::plan::{ClientCtx, DistFs, FsResources, OpPlan, ServerId, ServerSpec, Stage};
 use memfs::{FsError, FsResult, MemFs, MemFsConfig};
 use netsim::{LinkSpec, RpcProfile};
-use simcore::{DetRng, SimDuration, SimTime};
+use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
 /// A volume in the aggregated namespace.
 #[derive(Debug, Clone)]
@@ -229,7 +229,11 @@ impl DistFs for OntapGxFs {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.attr_caches[client.node].lookup(path, now) =>
             {
+                telemetry::count("ontapgx.attr_cache.hit", 1);
                 return Ok(OpPlan::local(self.config.cached_stat_cpu));
+            }
+            MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
+                telemetry::count("ontapgx.attr_cache.miss", 1);
             }
             _ => {}
         }
@@ -266,6 +270,7 @@ impl DistFs for OntapGxFs {
         });
         if nblade == dblade {
             self.local_hits += 1;
+            telemetry::count("ontapgx.local", 1);
             stages.push(Stage::Server {
                 server: dblade,
                 demand,
@@ -274,6 +279,7 @@ impl DistFs for OntapGxFs {
             // N-blade translates to the internal SpinNP protocol and
             // forwards; the owning D-blade does the real work (Fig. 4.3).
             self.forwarded += 1;
+            telemetry::count("ontapgx.forwarded", 1);
             stages.push(Stage::Server {
                 server: nblade,
                 demand: self.config.nblade_overhead,

@@ -79,6 +79,9 @@ pub struct BackgroundJob {
     pub demand: SimDuration,
     /// Permit to release on completion.
     pub release_sem: Option<SemId>,
+    /// Telemetry label for the span this job produces in traces
+    /// (`None` → the generic `"background"`).
+    pub label: Option<&'static str>,
 }
 
 /// A compiled operation.

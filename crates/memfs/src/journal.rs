@@ -13,6 +13,7 @@
 
 use crate::attr::{FileType, Ino, Mode};
 use serde::{Deserialize, Serialize};
+use simcore::telemetry;
 
 /// When journal records become persistent (paper §2.7.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -184,9 +185,11 @@ impl Journal {
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
         self.records.push((tx, record));
+        telemetry::count("memfs.journal.record", 1);
         if self.mode == JournalMode::Sync {
             self.committed = self.records.len();
             self.commits += 1;
+            telemetry::count("memfs.journal.commit", 1);
         }
         Some(tx)
     }
@@ -196,6 +199,7 @@ impl Journal {
         if self.committed < self.records.len() {
             self.committed = self.records.len();
             self.commits += 1;
+            telemetry::count("memfs.journal.commit", 1);
         }
     }
 
@@ -224,6 +228,7 @@ impl Journal {
         self.records.clear();
         self.committed = 0;
         self.checkpoints += 1;
+        telemetry::count("memfs.journal.checkpoint", 1);
     }
 
     /// Simulate a crash: volatile records are lost; the committed prefix is

@@ -101,8 +101,10 @@ impl LockTable {
     /// the lock was granted. An owner may stack multiple ranges.
     pub fn try_lock(&mut self, owner: LockOwner, kind: LockKind, range: LockRange) -> bool {
         if self.conflicts(owner, kind, range) {
+            simcore::telemetry::count("memfs.lock.conflict", 1);
             return false;
         }
+        simcore::telemetry::count("memfs.lock.granted", 1);
         self.held.push(HeldLock { owner, kind, range });
         true
     }

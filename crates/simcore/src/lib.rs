@@ -47,6 +47,7 @@ mod rng;
 mod sched;
 mod sem;
 mod stats;
+pub mod telemetry;
 mod time;
 
 pub use lock::HoldLock;
@@ -56,6 +57,7 @@ pub use rng::DetRng;
 pub use sched::{EventId, Scheduler};
 pub use sem::Semaphore;
 pub use stats::{LatencyHistogram, OnlineStats};
+pub use telemetry::TelemetryReport;
 pub use time::{SimDuration, SimTime};
 
 /// Identifier of a simulated job (one in-flight operation of one process).

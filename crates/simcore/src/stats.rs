@@ -220,6 +220,11 @@ impl LatencyHistogram {
         crate::SimDuration::from_nanos(self.max_ns)
     }
 
+    /// Exact sum of all observations (not reconstructed from the mean).
+    pub fn sum(&self) -> crate::SimDuration {
+        crate::SimDuration::from_nanos(self.sum_ns)
+    }
+
     /// Approximate percentile (`0.0..=1.0`): the upper bound of the bucket
     /// containing the p-th observation.
     ///
@@ -343,6 +348,53 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.percentile(0.99), crate::SimDuration::ZERO);
         assert_eq!(h.mean(), crate::SimDuration::ZERO);
+    }
+
+    /// The property the telemetry summarizer relies on: merging per-node
+    /// histograms yields the same percentiles as one histogram fed all
+    /// observations (bucket counts add exactly).
+    #[test]
+    fn histogram_merge_preserves_percentiles() {
+        use crate::SimDuration;
+        let mut whole = LatencyHistogram::new();
+        let mut parts: Vec<LatencyHistogram> = (0..4).map(|_| LatencyHistogram::new()).collect();
+        for i in 0..400u64 {
+            let lat = SimDuration::from_nanos(37 + i * i * 13);
+            whole.push(lat);
+            parts[(i % 4) as usize].push(lat);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), whole.percentile(p));
+        }
+        assert_eq!(merged.sum(), whole.sum());
+    }
+
+    /// OnlineStats merge is associative enough for tree-shaped reduction:
+    /// (a ∪ b) ∪ c matches a ∪ (b ∪ c) and the sequential result.
+    #[test]
+    fn stats_merge_is_order_insensitive() {
+        let chunks: [&[f64]; 3] = [&[1.0, 5.0, 2.5], &[100.0], &[0.25, 0.5, 7.0, 9.0]];
+        let seq: OnlineStats = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        let [a, b, c]: [OnlineStats; 3] = chunks.map(|c| c.iter().copied().collect());
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        for m in [&left, &right] {
+            assert_eq!(m.count(), seq.count());
+            assert!((m.mean() - seq.mean()).abs() < 1e-12);
+            assert!((m.population_variance() - seq.population_variance()).abs() < 1e-9);
+            assert_eq!(m.min(), seq.min());
+            assert_eq!(m.max(), seq.max());
+        }
     }
 
     #[test]

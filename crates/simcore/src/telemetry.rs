@@ -1,0 +1,663 @@
+//! Virtual-time telemetry: spans, counters and latency histograms with
+//! Chrome-trace / metrics-JSON export.
+//!
+//! The paper's instrument is the time-interval log (§3.3.5); this module is
+//! the microscope underneath it. Every layer of the stack — file-system
+//! models, the in-memory FS, the network model, both cluster engines — can
+//! record *events* here:
+//!
+//! * **spans**: an activity with a start and an end on the virtual clock
+//!   (an operation in flight, a semaphore wait, a write-back consistency
+//!   point pausing a server),
+//! * **instants**: a point event (a snapshot trigger, a timer firing),
+//! * **counters**: monotonically increasing totals (cache hits, RPCs,
+//!   journal commits),
+//! * **histograms**: log-bucketed latency distributions
+//!   ([`LatencyHistogram`]).
+//!
+//! Recording is **off by default** and costs a single thread-local flag
+//! check per call site when disabled, so instrumented hot paths stay free
+//! for ordinary runs. A caller opts in by wrapping a workload in
+//! [`capture`], which installs a thread-local sink, runs the closure, and
+//! returns a [`TelemetryReport`].
+//!
+//! Everything is stamped with virtual [`SimTime`], never the wall clock,
+//! and recording neither draws random numbers nor schedules events — so
+//! traces are *bit-deterministic*: the same scenario produces byte-identical
+//! Chrome-trace and metrics JSON at any `--jobs` level and claim order
+//! (pinned by `tests/telemetry_determinism.rs`).
+//!
+//! # Track model
+//!
+//! Chrome trace events live on `(pid, tid)` tracks. Each simulation run
+//! ([`begin_run`]) allocates one *pid* and names it after the model; worker
+//! processes and servers get *tids* within the run ([`worker_tid`],
+//! [`server_tid`]) with human-readable `thread_name` metadata. Perfetto and
+//! `chrome://tracing` then show one process group per `run_sim` invocation
+//! with one timeline row per worker/server.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stats::LatencyHistogram;
+use crate::time::{SimDuration, SimTime};
+
+/// Thread id of the first server track within a run; workers are
+/// `0..SERVER_TID_BASE`, server `s` is `SERVER_TID_BASE + s`.
+pub const SERVER_TID_BASE: u64 = 1 << 20;
+
+/// Track id for a worker (node-local process) within a run.
+#[inline]
+#[must_use]
+pub fn worker_tid(worker: usize) -> u64 {
+    worker as u64
+}
+
+/// Track id for a server resource within a run.
+#[inline]
+#[must_use]
+pub fn server_tid(server: usize) -> u64 {
+    SERVER_TID_BASE + server as u64
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SpanEvent {
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InstantEvent {
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    ts_ns: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ProcessMeta {
+    pid: u32,
+    name: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ThreadMeta {
+    pid: u32,
+    tid: u64,
+    name: String,
+}
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Sink {
+    next_pid: u32,
+    processes: Vec<ProcessMeta>,
+    threads: Vec<ThreadMeta>,
+    spans: Vec<SpanEvent>,
+    instants: Vec<InstantEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
+}
+
+/// Whether a telemetry sink is installed on this thread.
+///
+/// This is the cheap guard instrumented call sites check (directly or via
+/// the emit helpers, which all check it first): when `false` — the default —
+/// every telemetry call is a no-op.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+#[inline]
+fn with_sink(f: impl FnOnce(&mut Sink)) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            f(sink);
+        }
+    });
+}
+
+/// Run `f` with telemetry enabled on this thread and return its result
+/// together with everything recorded.
+///
+/// Nesting is supported (the inner capture shadows the outer one), and the
+/// previous state is restored even if `f` panics — the half-recorded sink is
+/// then discarded with the unwind.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, TelemetryReport) {
+    struct Guard {
+        prev_enabled: bool,
+        prev_sink: Option<Sink>,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ENABLED.with(|e| e.set(self.prev_enabled));
+            SINK.with(|s| *s.borrow_mut() = self.prev_sink.take());
+        }
+    }
+    let guard = Guard {
+        prev_enabled: ENABLED.with(|e| e.replace(true)),
+        prev_sink: SINK.with(|s| s.borrow_mut().replace(Sink::default())),
+    };
+    let value = f();
+    let sink = SINK.with(|s| s.borrow_mut().take()).unwrap_or_default();
+    drop(guard);
+    (value, TelemetryReport { sink })
+}
+
+/// Start a new trace "process": one simulation-engine run.
+///
+/// Returns the pid to stamp on this run's spans (0 when disabled — the
+/// helpers don't care).
+pub fn begin_run(name: &str) -> u32 {
+    if !enabled() {
+        return 0;
+    }
+    let mut pid = 0;
+    with_sink(|sink| {
+        sink.next_pid += 1;
+        pid = sink.next_pid;
+        sink.processes.push(ProcessMeta {
+            pid,
+            name: name.to_owned(),
+        });
+    });
+    pid
+}
+
+/// Attach a human-readable name to a `(pid, tid)` track
+/// (Chrome `thread_name` metadata).
+pub fn name_track(pid: u32, tid: u64, name: &str) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        sink.threads.push(ThreadMeta {
+            pid,
+            tid,
+            name: name.to_owned(),
+        });
+    });
+}
+
+/// Record a completed span `[start, end]` on a track.
+pub fn span(
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    start: SimTime,
+    end: SimTime,
+) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        sink.spans.push(SpanEvent {
+            pid,
+            tid,
+            name,
+            cat,
+            start_ns: start.as_nanos(),
+            dur_ns: end.saturating_since(start).as_nanos(),
+        });
+    });
+}
+
+/// Record a point event on a track.
+pub fn instant(pid: u32, tid: u64, name: &'static str, cat: &'static str, ts: SimTime) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        sink.instants.push(InstantEvent {
+            pid,
+            tid,
+            name,
+            cat,
+            ts_ns: ts.as_nanos(),
+        });
+    });
+}
+
+/// Add `delta` to a named counter.
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| *sink.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Record one observation into a named latency histogram.
+pub fn observe(name: &'static str, latency: SimDuration) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        sink.histograms.entry(name).or_default().push(latency);
+    });
+}
+
+/// Everything one [`capture`] recorded: the raw event list plus aggregated
+/// counters and histograms.
+///
+/// The two exports are deliberately different views: the Chrome trace is the
+/// full timeline (open it in Perfetto / `chrome://tracing`), the metrics
+/// summary is a compact, integer-only JSON digest that is byte-comparable
+/// across runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    sink: Sink,
+}
+
+impl TelemetryReport {
+    /// True if nothing at all was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sink.spans.is_empty()
+            && self.sink.instants.is_empty()
+            && self.sink.counters.is_empty()
+            && self.sink.histograms.is_empty()
+    }
+
+    /// Value of a counter (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.sink.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of spans recorded under `name`.
+    #[must_use]
+    pub fn span_count(&self, name: &str) -> usize {
+        self.sink.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Total duration of all spans recorded under `name`.
+    #[must_use]
+    pub fn span_total(&self, name: &str) -> SimDuration {
+        SimDuration::from_nanos(
+            self.sink
+                .spans
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.dur_ns)
+                .sum(),
+        )
+    }
+
+    /// A recorded latency histogram, if any observation was made under
+    /// `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.sink.histograms.get(name)
+    }
+
+    /// Merge another report into this one (counters and histograms combine;
+    /// events append). Used to combine per-run or per-node captures into one
+    /// summary.
+    pub fn merge(&mut self, other: &TelemetryReport) {
+        let pid_base = self.sink.next_pid;
+        self.sink.next_pid += other.sink.next_pid;
+        for p in &other.sink.processes {
+            self.sink.processes.push(ProcessMeta {
+                pid: p.pid + pid_base,
+                name: p.name.clone(),
+            });
+        }
+        for t in &other.sink.threads {
+            self.sink.threads.push(ThreadMeta {
+                pid: t.pid + pid_base,
+                tid: t.tid,
+                name: t.name.clone(),
+            });
+        }
+        for s in &other.sink.spans {
+            let mut s = s.clone();
+            s.pid += pid_base;
+            self.sink.spans.push(s);
+        }
+        for i in &other.sink.instants {
+            let mut i = i.clone();
+            i.pid += pid_base;
+            self.sink.instants.push(i);
+        }
+        for (name, v) in &other.sink.counters {
+            *self.sink.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in &other.sink.histograms {
+            self.sink.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Serialize as Chrome trace-event JSON (the `traceEvents` array form),
+    /// loadable in Perfetto (<https://ui.perfetto.dev>) or
+    /// `chrome://tracing`. Timestamps are virtual microseconds with
+    /// nanosecond precision; output is byte-deterministic.
+    #[must_use]
+    pub fn to_chrome_trace_json(&self) -> String {
+        let mut out =
+            String::with_capacity(128 + 96 * (self.sink.spans.len() + self.sink.instants.len()));
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+                out.push_str("\n ");
+            } else {
+                out.push_str(",\n ");
+            }
+        };
+        for p in &self.sink.processes {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                p.pid,
+                escape(&p.name)
+            );
+        }
+        for t in &self.sink.threads {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                t.pid,
+                t.tid,
+                escape(&t.name)
+            );
+        }
+        for s in &self.sink.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"{}\"}}",
+                s.pid,
+                s.tid,
+                Us(s.start_ns),
+                Us(s.dur_ns),
+                escape(s.name),
+                escape(s.cat)
+            );
+        }
+        for i in &self.sink.instants {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":{},\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"cat\":\"{}\"}}",
+                i.pid,
+                i.tid,
+                Us(i.ts_ns),
+                escape(i.name),
+                escape(i.cat)
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Serialize the compact metrics summary: counters, per-name span
+    /// aggregates and histogram digests. All values are integers (counts and
+    /// nanoseconds), so equal runs produce byte-identical output.
+    #[must_use]
+    pub fn to_metrics_json(&self) -> String {
+        let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.sink.spans {
+            let e = spans.entry(s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        let mut instants: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for i in &self.sink.instants {
+            *instants.entry(i.name).or_insert(0) += 1;
+        }
+
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        write_map(&mut out, self.sink.counters.iter(), |out, (name, v)| {
+            let _ = write!(out, "\"{}\": {}", escape(name), v);
+        });
+        out.push_str("},\n  \"spans\": {");
+        write_map(&mut out, spans.iter(), |out, (name, (n, total))| {
+            let _ = write!(
+                out,
+                "\"{}\": {{\"count\": {n}, \"total_ns\": {total}}}",
+                escape(name)
+            );
+        });
+        out.push_str("},\n  \"instants\": {");
+        write_map(&mut out, instants.iter(), |out, (name, n)| {
+            let _ = write!(out, "\"{}\": {n}", escape(name));
+        });
+        out.push_str("},\n  \"histograms\": {");
+        write_map(&mut out, self.sink.histograms.iter(), |out, (name, h)| {
+            let _ = write!(
+                out,
+                "\"{}\": {{\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+                escape(name),
+                h.count(),
+                h.sum().as_nanos(),
+                h.max().as_nanos(),
+                h.percentile(0.50).as_nanos(),
+                h.percentile(0.90).as_nanos(),
+                h.percentile(0.99).as_nanos()
+            );
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Write `items` as the body of a JSON object: 4-space-indented lines, one
+/// entry per line, no trailing comma.
+fn write_map<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_entry: impl FnMut(&mut String, T),
+) {
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        out.push_str("\n    ");
+        write_entry(out, item);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        out.push_str("\n  ");
+    }
+}
+
+/// Nanoseconds displayed as microseconds with three decimals (Chrome's `ts`
+/// unit is µs; the fraction keeps full nanosecond precision).
+struct Us(u64);
+
+impl std::fmt::Display for Us {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{:03}", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        assert!(!enabled());
+        count("x", 1);
+        span(1, 0, "s", "c", SimTime::ZERO, SimTime::from_nanos(5));
+        observe("h", SimDuration::from_nanos(5));
+        // a later capture sees none of it
+        let ((), report) = capture(|| {});
+        assert!(report.is_empty());
+        assert_eq!(report.counter("x"), 0);
+    }
+
+    #[test]
+    fn capture_scopes_the_sink() {
+        let ((), report) = capture(|| {
+            assert!(enabled());
+            let pid = begin_run("model-a");
+            assert_eq!(pid, 1);
+            name_track(pid, worker_tid(0), "node00/p0");
+            span(
+                pid,
+                worker_tid(0),
+                "create",
+                "op",
+                SimTime::from_nanos(1_500),
+                SimTime::from_nanos(3_500),
+            );
+            instant(
+                pid,
+                server_tid(0),
+                "snapshot",
+                "cp",
+                SimTime::from_nanos(9_000),
+            );
+            count("hits", 2);
+            count("hits", 3);
+            observe("lat", SimDuration::from_micros(10));
+        });
+        assert!(!enabled());
+        assert_eq!(report.counter("hits"), 5);
+        assert_eq!(report.span_count("create"), 1);
+        assert_eq!(report.span_total("create"), SimDuration::from_nanos(2_000));
+        assert_eq!(report.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_deterministic() {
+        let run = || {
+            capture(|| {
+                let pid = begin_run("m");
+                name_track(pid, worker_tid(0), "w0");
+                span(
+                    pid,
+                    worker_tid(0),
+                    "op",
+                    "op",
+                    SimTime::from_nanos(1_234),
+                    SimTime::from_nanos(5_678),
+                );
+                instant(pid, worker_tid(0), "tick", "t", SimTime::from_nanos(7_000));
+                count("c", 1);
+            })
+            .1
+        };
+        let a = run().to_chrome_trace_json();
+        let b = run().to_chrome_trace_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"ts\":1.234"));
+        assert!(a.contains("\"dur\":4.444"));
+        assert!(a.contains("\"process_name\""));
+        assert!(a.contains("\"thread_name\""));
+        // no trailing commas, balanced braces
+        assert!(!a.contains(",]") && !a.contains(",}"));
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn metrics_json_is_integer_only_and_stable() {
+        let report = capture(|| {
+            let pid = begin_run("m");
+            span(
+                pid,
+                0,
+                "consistency-point",
+                "cp",
+                SimTime::ZERO,
+                SimTime::from_micros(40),
+            );
+            count("rpc", 7);
+            observe("lat", SimDuration::from_micros(100));
+        })
+        .1;
+        let json = report.to_metrics_json();
+        assert!(json.contains("\"rpc\": 7"));
+        assert!(json.contains("\"consistency-point\": {\"count\": 1, \"total_ns\": 40000}"));
+        assert!(!json.contains('.'), "integers only: {json}");
+        assert_eq!(json, report.to_metrics_json());
+    }
+
+    #[test]
+    fn nested_capture_shadows_outer() {
+        let ((inner, outer_count), outer) = capture(|| {
+            count("outer", 1);
+            let ((), inner) = capture(|| count("inner", 1));
+            count("outer", 1);
+            (inner, 2u64)
+        });
+        assert_eq!(inner.counter("inner"), 1);
+        assert_eq!(inner.counter("outer"), 0);
+        assert_eq!(outer.counter("outer"), outer_count);
+        assert_eq!(outer.counter("inner"), 0);
+    }
+
+    #[test]
+    fn merge_combines_counters_histograms_and_renumbers_pids() {
+        let a = capture(|| {
+            let pid = begin_run("a");
+            span(pid, 0, "op", "op", SimTime::ZERO, SimTime::from_nanos(10));
+            count("c", 1);
+            observe("h", SimDuration::from_nanos(10));
+        })
+        .1;
+        let b = capture(|| {
+            let pid = begin_run("b");
+            span(pid, 0, "op", "op", SimTime::ZERO, SimTime::from_nanos(20));
+            count("c", 2);
+            observe("h", SimDuration::from_nanos(20));
+        })
+        .1;
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter("c"), 3);
+        assert_eq!(m.span_count("op"), 2);
+        assert_eq!(m.span_total("op"), SimDuration::from_nanos(30));
+        assert_eq!(m.histogram("h").unwrap().count(), 2);
+        // pids renumbered: the merged trace names two distinct processes
+        let trace = m.to_chrome_trace_json();
+        assert!(trace.contains("\"pid\":1") && trace.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property test: a scenario's telemetry — the Chrome trace and the metrics
+//! summary — is **byte-identical** whether the scenario runs solo or inside
+//! the parallel suite, for every work-claim order and worker count. Events
+//! are stamped with virtual time and the sink is scoped per worker thread,
+//! so OS-thread scheduling must never leak into a trace (the same invariant
+//! `suite_determinism.rs` pins for ShapeReports).
+//!
+//! Also pins a golden consistency-point count for `exp_4_8_writeback`: the
+//! write-back study's background-commit cadence is the paper's §4.8
+//! sawtooth, and its event count must not drift silently.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+use dmetabench::suite::{self, Scenario};
+use simcore::TelemetryReport;
+
+const FAST_IDS: [&str; 3] = ["exp_tab_3_1", "exp_fig_3_4", "exp_lst_3_3"];
+
+fn fast_scenarios() -> Vec<&'static Scenario> {
+    FAST_IDS
+        .iter()
+        .map(|id| suite::find(id).expect("registered"))
+        .collect()
+}
+
+fn render(report: &TelemetryReport) -> (String, String) {
+    (report.to_chrome_trace_json(), report.to_metrics_json())
+}
+
+/// Solo traced (trace, metrics) pairs, computed once per test process.
+fn solo_traces() -> &'static Vec<(String, String)> {
+    static SOLO: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    SOLO.get_or_init(|| {
+        fast_scenarios()
+            .iter()
+            .map(|s| {
+                let result = suite::run_scenario_traced(s);
+                result
+                    .outcome
+                    .as_ref()
+                    .expect("fast scenario does not panic");
+                render(result.telemetry.as_ref().expect("traced run captures"))
+            })
+            .collect()
+    })
+}
+
+/// The 6 permutations of 3 work items.
+const ORDERS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn traces_identical_for_any_schedule(order_idx in 0usize..6, jobs in 1usize..5) {
+        let scenarios = fast_scenarios();
+        let run = suite::run_suite_ordered_traced(&scenarios, jobs, &ORDERS[order_idx]);
+        for (result, (solo_trace, solo_metrics)) in run.results.iter().zip(solo_traces()) {
+            let (trace, metrics) =
+                render(result.telemetry.as_ref().expect("traced suite captures"));
+            prop_assert_eq!(
+                &trace,
+                solo_trace,
+                "trace of {} differs between solo and parallel (order {:?}, jobs {})",
+                result.scenario.id,
+                ORDERS[order_idx],
+                jobs
+            );
+            prop_assert_eq!(
+                &metrics,
+                solo_metrics,
+                "metrics of {} differ between solo and parallel (order {:?}, jobs {})",
+                result.scenario.id,
+                ORDERS[order_idx],
+                jobs
+            );
+        }
+    }
+}
+
+/// Untraced runs carry no telemetry — recording stays opt-in.
+#[test]
+fn untraced_runs_have_no_telemetry() {
+    let s = suite::find("exp_lst_3_3").expect("registered");
+    assert!(suite::run_scenario(s).telemetry.is_none());
+    let run = suite::run_suite(&fast_scenarios(), 2);
+    assert!(run.results.iter().all(|r| r.telemetry.is_none()));
+}
+
+/// Solo traced run of the write-back study, computed once per test process.
+fn writeback_telemetry() -> &'static TelemetryReport {
+    static SOLO: OnceLock<TelemetryReport> = OnceLock::new();
+    SOLO.get_or_init(|| {
+        let s = suite::find("exp_4_8_writeback").expect("registered");
+        let result = suite::run_scenario_traced(s);
+        result.outcome.as_ref().expect("scenario does not panic");
+        result.telemetry.expect("traced run captures")
+    })
+}
+
+/// Golden check: the §4.8 write-back sweep completes exactly this many
+/// Lustre journal commits (its consistency points) across all cadences.
+/// A drift here means the commit model or the sweep changed.
+#[test]
+fn writeback_consistency_point_count_is_pinned() {
+    let t = writeback_telemetry();
+    assert_eq!(t.span_count("consistency-point"), 39504);
+    assert_eq!(t.counter("lustre.commit"), 40528);
+    assert!(t.to_chrome_trace_json().contains("\"consistency-point\""));
+}
+
+/// The exported metrics summary is bit-identical whether the scenario runs
+/// on the main thread or on a jobs-8 suite worker thread.
+#[test]
+fn writeback_metrics_identical_across_jobs_levels() {
+    let solo = render(writeback_telemetry());
+    let s = suite::find("exp_4_8_writeback").expect("registered");
+    let run = suite::run_suite_traced(&[s], 8);
+    let parallel = render(run.results[0].telemetry.as_ref().expect("traced"));
+    assert_eq!(solo, parallel);
+}
