@@ -12,7 +12,7 @@ fn populated_index(kind: DirIndexKind, n: u64) -> Box<dyn memfs::DirIndex> {
     let mut d = new_index(kind);
     for i in 0..n {
         d.insert(RawEntry {
-            name: format!("f{i:08}"),
+            name: format!("f{i:08}").into(),
             ino: Ino(i + 10),
             file_type: FileType::Regular,
         });

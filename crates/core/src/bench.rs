@@ -1,0 +1,319 @@
+//! Wall-clock benchmark harness (`dmetabench bench`).
+//!
+//! Unlike the shape-regression suite, which runs on **virtual** time and is
+//! bit-reproducible, this module measures **real** elapsed time so the repo
+//! can record a perf trajectory across PRs. Each benched scenario is run
+//! `reps` times after one untimed warmup, and the per-rep wall-clock samples
+//! are summarized and written to `BENCH_<scenario>.json` (schema
+//! [`SCHEMA`]).
+//!
+//! Two kinds of scenario are benchable:
+//!
+//! * **micro** workloads defined here — [`micro_ids`] — that hammer one
+//!   subsystem directly. `snapshot_churn` is checkpoint/snapshot-heavy
+//!   (it exercises the consistency-point image capture path, paper §4.8);
+//!   `create_churn` is the identical metadata workload *without* any
+//!   checkpoints, serving as the regression control.
+//! * any registered **suite** scenario by id (`exp_4_8_writeback`, …),
+//!   timed end to end.
+
+use crate::suite;
+use memfs::{MemFs, OpenFlags, Vfs};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema tag stamped into every emitted `BENCH_*.json`.
+pub const SCHEMA: &str = "dmetabench.bench/v1";
+
+/// Summary statistics over the per-rep wall-clock samples, in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchStats {
+    /// Fastest rep.
+    pub min_secs: f64,
+    /// Median rep (the headline number — robust against one slow rep).
+    pub median_secs: f64,
+    /// Arithmetic mean.
+    pub mean_secs: f64,
+    /// Slowest rep.
+    pub max_secs: f64,
+    /// Population standard deviation.
+    pub stddev_secs: f64,
+}
+
+impl BenchStats {
+    /// Compute stats over one or more samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "bench needs at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        BenchStats {
+            min_secs: sorted[0],
+            median_secs: median,
+            mean_secs: mean,
+            max_secs: sorted[n - 1],
+            stddev_secs: var.sqrt(),
+        }
+    }
+}
+
+/// One benched scenario's result — serialized as `BENCH_<scenario>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Scenario id (micro workload name or registered suite id).
+    pub scenario: String,
+    /// `"micro"` or `"suite"`.
+    pub kind: String,
+    /// Timed repetitions (after one untimed warmup).
+    pub reps: u32,
+    /// Whether the workload ran in reduced `--quick` geometry.
+    pub quick: bool,
+    /// Metadata operations per rep (0 for suite scenarios, which report
+    /// their own op counts in the shape suite).
+    pub ops: u64,
+    /// Raw per-rep wall-clock samples, seconds, in run order.
+    pub samples_secs: Vec<f64>,
+    /// Summary statistics over `samples_secs`.
+    pub stats: BenchStats,
+    /// `ops / median_secs` (0.0 when `ops` is 0).
+    pub ops_per_sec_median: f64,
+}
+
+/// Ids of the built-in micro workloads.
+pub fn micro_ids() -> &'static [&'static str] {
+    &["snapshot_churn", "create_churn"]
+}
+
+/// Geometry of the churn workloads.
+struct ChurnGeometry {
+    dirs: usize,
+    files_per_dir: usize,
+    rounds: usize,
+    rewrites_per_round: usize,
+    recreates_per_round: usize,
+}
+
+impl ChurnGeometry {
+    fn new(quick: bool) -> Self {
+        if quick {
+            ChurnGeometry {
+                dirs: 8,
+                files_per_dir: 32,
+                rounds: 3,
+                rewrites_per_round: 64,
+                recreates_per_round: 16,
+            }
+        } else {
+            ChurnGeometry {
+                dirs: 16,
+                files_per_dir: 128,
+                rounds: 8,
+                rewrites_per_round: 256,
+                recreates_per_round: 64,
+            }
+        }
+    }
+}
+
+/// How many snapshots the churn workload keeps live (WAFL keeps a small
+/// rotating set of consistency points).
+const SNAPSHOT_KEEP: usize = 4;
+
+/// Run the churn workload; with `snapshots` each round ends in a
+/// consistency point (`checkpoint()` + `snapshot_create()` with rotation).
+/// Returns the number of metadata operations performed.
+fn run_churn(quick: bool, snapshots: bool) -> u64 {
+    let g = ChurnGeometry::new(quick);
+    let payload = vec![0xa5u8; 4096]; // > inline_max: engages the allocator
+    let mut fs = MemFs::new();
+    let mut ops: u64 = 0;
+    for d in 0..g.dirs {
+        fs.mkdir(&format!("/d{d}")).expect("mkdir");
+        ops += 1;
+        for f in 0..g.files_per_dir {
+            let path = format!("/d{d}/f{f}");
+            let fd = fs.create(&path).expect("create");
+            fs.write(fd, &payload).expect("write");
+            fs.close(fd).expect("close");
+            ops += 3;
+        }
+    }
+    let total_files = g.dirs * g.files_per_dir;
+    for round in 0..g.rounds {
+        for k in 0..g.rewrites_per_round {
+            let idx = (round * g.rewrites_per_round + k * 7) % total_files;
+            let path = format!("/d{}/f{}", idx / g.files_per_dir, idx % g.files_per_dir);
+            let fd = fs.open(&path, OpenFlags::write_only()).expect("open");
+            fs.write(fd, &payload).expect("rewrite");
+            fs.close(fd).expect("close");
+            ops += 3;
+        }
+        for k in 0..g.recreates_per_round {
+            let idx = (round * g.recreates_per_round + k * 11) % total_files;
+            let path = format!("/d{}/f{}", idx / g.files_per_dir, idx % g.files_per_dir);
+            fs.unlink(&path).expect("unlink");
+            let fd = fs.create(&path).expect("recreate");
+            fs.write(fd, &payload).expect("write");
+            fs.close(fd).expect("close");
+            ops += 4;
+        }
+        if snapshots {
+            fs.checkpoint();
+            fs.snapshot_create(&format!("cp{round}")).expect("snapshot");
+            ops += 2;
+            if round >= SNAPSHOT_KEEP {
+                fs.snapshot_delete(&format!("cp{}", round - SNAPSHOT_KEEP))
+                    .expect("rotate");
+                ops += 1;
+            }
+        }
+    }
+    ops
+}
+
+/// Run one benchable scenario once; returns the op count (0 for suite
+/// scenarios).
+///
+/// # Errors
+///
+/// Unknown id, or a suite scenario that panics.
+fn run_once(id: &str) -> Result<u64, String> {
+    match id {
+        "snapshot_churn" => Ok(run_churn(false, true)),
+        "create_churn" => Ok(run_churn(false, false)),
+        _ => {
+            let scenario =
+                suite::find(id).ok_or_else(|| format!("unknown bench scenario `{id}`"))?;
+            let result = suite::run_scenario(scenario);
+            result.outcome.map(|_| 0).map_err(|e| format!("{id}: {e}"))
+        }
+    }
+}
+
+/// Quick-mode variant of [`run_once`].
+fn run_once_quick(id: &str) -> Result<u64, String> {
+    match id {
+        "snapshot_churn" => Ok(run_churn(true, true)),
+        "create_churn" => Ok(run_churn(true, false)),
+        _ => run_once(id),
+    }
+}
+
+/// Bench one scenario: one untimed warmup, then `reps` timed runs.
+///
+/// # Errors
+///
+/// Unknown scenario id, `reps == 0`, or a failing suite scenario.
+pub fn run_bench(id: &str, reps: u32, quick: bool) -> Result<BenchReport, String> {
+    if reps == 0 {
+        return Err("reps must be >= 1".to_owned());
+    }
+    let is_micro = micro_ids().contains(&id);
+    if !is_micro && suite::find(id).is_none() {
+        return Err(format!(
+            "unknown bench scenario `{id}` (micro: {}; or any suite id)",
+            micro_ids().join(", ")
+        ));
+    }
+    let run = if quick { run_once_quick } else { run_once };
+    let mut ops = run(id)?; // warmup
+    let mut samples = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        ops = run(id)?;
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let stats = BenchStats::from_samples(&samples);
+    let ops_per_sec_median = if ops > 0 && stats.median_secs > 0.0 {
+        ops as f64 / stats.median_secs
+    } else {
+        0.0
+    };
+    Ok(BenchReport {
+        schema: SCHEMA.to_owned(),
+        scenario: id.to_owned(),
+        kind: if is_micro { "micro" } else { "suite" }.to_owned(),
+        reps,
+        quick,
+        ops,
+        samples_secs: samples,
+        stats,
+        ops_per_sec_median,
+    })
+}
+
+/// Path of a report's JSON file under `out_dir`.
+pub fn report_path(out_dir: &Path, id: &str) -> PathBuf {
+    out_dir.join(format!("BENCH_{id}.json"))
+}
+
+/// Serialize a report to `BENCH_<scenario>.json` under `out_dir`,
+/// creating the directory if needed.
+///
+/// # Errors
+///
+/// I/O or serialization failure, as a human-readable message.
+pub fn write_report(report: &BenchReport, out_dir: &Path) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = report_path(out_dir, &report.scenario);
+    let text =
+        serde_json::to_string_pretty(report).map_err(|e| format!("serialize bench: {e:?}"))?;
+    std::fs::write(&path, text + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = BenchStats::from_samples(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.min_secs, 1.0);
+        assert_eq!(s.max_secs, 4.0);
+        assert_eq!(s.median_secs, 2.5);
+        assert_eq!(s.mean_secs, 2.5);
+        assert!((s.stddev_secs - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_workloads_run_quick() {
+        for id in micro_ids() {
+            let report = run_bench(id, 1, true).expect("quick micro bench runs");
+            assert_eq!(report.schema, SCHEMA);
+            assert_eq!(report.kind, "micro");
+            assert!(report.ops > 0);
+            assert_eq!(report.samples_secs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        assert!(run_bench("no_such_scenario", 1, true).is_err());
+        assert!(run_bench("snapshot_churn", 0, true).is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run_bench("create_churn", 1, true).expect("bench runs");
+        let text = serde_json::to_string_pretty(&report).expect("serialize");
+        let back: BenchReport = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, report);
+    }
+}

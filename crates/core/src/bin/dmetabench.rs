@@ -10,7 +10,7 @@
 
 use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
 use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
-use dmetabench::{all_plugin_names, baseline, suite, BenchParams, Runner};
+use dmetabench::{all_plugin_names, baseline, bench, suite, BenchParams, Runner};
 use simcore::SimDuration;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +21,15 @@ dmetabench — distributed metadata benchmark (Rust reproduction)
 USAGE:
   dmetabench [OPTIONS]
   dmetabench suite [SUITE OPTIONS]    run the experiment shape-regression suite
+  dmetabench bench [BENCH OPTIONS]    wall-clock benchmark, emits BENCH_<id>.json
+
+BENCH OPTIONS:
+  --scenarios <A,B,...>      micro workloads (snapshot_churn, create_churn) or
+                             suite ids        [default: snapshot_churn,create_churn]
+  --reps <N>                 timed repetitions after one warmup   [default: 5]
+  --quick                    reduced workload geometry (CI smoke)
+  --out <DIR>                directory for BENCH_<id>.json        [default: .]
+  --list                     list benchable scenarios and exit
 
 SUITE OPTIONS:
   --filter <SUBSTR>          only scenarios whose id contains SUBSTR
@@ -404,10 +413,124 @@ fn suite_main(args: &[String]) -> ExitCode {
     }
 }
 
+struct BenchCli {
+    scenarios: Vec<String>,
+    reps: u32,
+    quick: bool,
+    out: PathBuf,
+    list: bool,
+}
+
+fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
+    let mut cli = BenchCli {
+        scenarios: vec!["snapshot_churn".to_owned(), "create_churn".to_owned()],
+        reps: 5,
+        quick: false,
+        out: PathBuf::from("."),
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--scenarios" => {
+                cli.scenarios = value("--scenarios")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cli.scenarios.is_empty() {
+                    return Err("--scenarios needs at least one id".into());
+                }
+            }
+            "--reps" => {
+                cli.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if cli.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--quick" => cli.quick = true,
+            "--out" => cli.out = PathBuf::from(value("--out")?),
+            "--list" => cli.list = true,
+            other => return Err(format!("unknown bench option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(cli))
+}
+
+fn bench_main(args: &[String]) -> ExitCode {
+    let cli = match parse_bench_args(args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.list {
+        for id in bench::micro_ids() {
+            println!("{id:24} micro");
+        }
+        for s in suite::registry() {
+            println!("{:24} suite", s.id);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut failures = 0usize;
+    for id in &cli.scenarios {
+        eprintln!(
+            "benching {id} ({} rep(s){})...",
+            cli.reps,
+            if cli.quick { ", quick" } else { "" }
+        );
+        match bench::run_bench(id, cli.reps, cli.quick) {
+            Err(msg) => {
+                failures += 1;
+                eprintln!("error: {msg}");
+            }
+            Ok(report) => match bench::write_report(&report, &cli.out) {
+                Err(msg) => {
+                    failures += 1;
+                    eprintln!("error: {msg}");
+                }
+                Ok(path) => {
+                    println!(
+                        "{:24} median {:>9.4}s  (min {:.4}s, max {:.4}s, {} ops)  -> {}",
+                        report.scenario,
+                        report.stats.median_secs,
+                        report.stats.min_secs,
+                        report.stats.max_secs,
+                        report.ops,
+                        path.display()
+                    );
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("suite") {
         return suite_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        return bench_main(&argv[1..]);
     }
     let cli = match parse_args() {
         Ok(Some(cli)) => cli,

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod bench;
 pub mod chart;
 mod params;
 mod plugin;

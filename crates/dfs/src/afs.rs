@@ -130,7 +130,7 @@ impl AfsFs {
         self.config
             .volumes
             .iter()
-            .position(|v| &v.prefix == first)
+            .position(|v| v.prefix.as_str() == &**first)
             .ok_or(FsError::NotFound)
     }
 

@@ -451,7 +451,7 @@ mod tests {
         let (server, pause) = fs.trigger_snapshot(&mut rng);
         assert_eq!(server, NFS_SERVER);
         assert!(pause >= SimDuration::from_millis(40));
-        assert_eq!(fs.server_fs().snapshot_names().len(), 1);
+        assert_eq!(fs.server_fs().snapshot_names().count(), 1);
     }
 
     #[test]

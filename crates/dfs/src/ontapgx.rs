@@ -146,7 +146,7 @@ impl OntapGxFs {
         self.config
             .volumes
             .iter()
-            .position(|v| &v.prefix == first)
+            .position(|v| v.prefix.as_str() == &**first)
             .ok_or(FsError::NotFound)
     }
 

@@ -41,7 +41,7 @@ pub struct Allocation {
 }
 
 /// Common allocator behaviour.
-pub trait BlockAllocator: std::fmt::Debug + Send {
+pub trait BlockAllocator: std::fmt::Debug + Send + Sync {
     /// Allocate `count` blocks.
     ///
     /// # Errors

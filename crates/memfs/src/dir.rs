@@ -16,6 +16,7 @@
 use crate::attr::{FileType, Ino};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Which directory index a file system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -31,10 +32,14 @@ pub enum DirIndexKind {
 
 /// A stored directory entry (name → inode, with the entry type cached as
 /// POSIX `readdir` returns it).
+///
+/// The name is interned behind `Arc<str>`, so cloning an entry — for a
+/// lookup result, a journal record, or a snapshot — bumps a refcount
+/// instead of copying the string.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RawEntry {
     /// Entry name.
-    pub name: String,
+    pub name: Arc<str>,
     /// Referenced inode.
     pub ino: Ino,
     /// Cached file type.
@@ -61,7 +66,7 @@ impl<T> Probed<T> {
 ///
 /// The trait is object-safe; `MemFs` stores a `Box<dyn DirIndex>` per
 /// directory inode.
-pub trait DirIndex: std::fmt::Debug + Send {
+pub trait DirIndex: std::fmt::Debug + Send + Sync {
     /// Look up a name. `None` if absent.
     fn lookup(&self, name: &str) -> Probed<Option<RawEntry>>;
     /// Insert an entry; returns `false` (and does not overwrite) if the name
@@ -75,9 +80,16 @@ pub trait DirIndex: std::fmt::Debug + Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
-    /// All entries in iteration order (lexicographic for the B-tree, hash /
-    /// insertion order otherwise — POSIX leaves readdir order unspecified).
-    fn entries(&self) -> Vec<RawEntry>;
+    /// Borrowed iteration over all entries in iteration order (lexicographic
+    /// for the B-tree, hash / insertion order otherwise — POSIX leaves
+    /// readdir order unspecified). No per-call entry clones.
+    fn iter_entries(&self) -> Box<dyn Iterator<Item = &RawEntry> + '_>;
+    /// All entries in iteration order, as owned values. With `Arc<str>`
+    /// names each clone is a refcount bump; prefer
+    /// [`iter_entries`](DirIndex::iter_entries) when borrowing suffices.
+    fn entries(&self) -> Vec<RawEntry> {
+        self.iter_entries().cloned().collect()
+    }
     /// Which implementation this is.
     fn kind(&self) -> DirIndexKind;
     /// Deep copy (used by snapshots).
@@ -113,7 +125,7 @@ impl LinearDir {
 impl DirIndex for LinearDir {
     fn lookup(&self, name: &str) -> Probed<Option<RawEntry>> {
         for (i, e) in self.entries.iter().enumerate() {
-            if e.name == name {
+            if &*e.name == name {
                 return Probed::new(Some(e.clone()), i as u64 + 1);
             }
         }
@@ -135,7 +147,7 @@ impl DirIndex for LinearDir {
 
     fn remove(&mut self, name: &str) -> Probed<Option<RawEntry>> {
         for (i, e) in self.entries.iter().enumerate() {
-            if e.name == name {
+            if &*e.name == name {
                 let probes = i as u64 + 1;
                 return Probed::new(Some(self.entries.remove(i)), probes);
             }
@@ -147,8 +159,8 @@ impl DirIndex for LinearDir {
         self.entries.len()
     }
 
-    fn entries(&self) -> Vec<RawEntry> {
-        self.entries.clone()
+    fn iter_entries(&self) -> Box<dyn Iterator<Item = &RawEntry> + '_> {
+        Box::new(self.entries.iter())
     }
 
     fn kind(&self) -> DirIndexKind {
@@ -229,7 +241,7 @@ impl DirIndex for HashedDir {
     fn lookup(&self, name: &str) -> Probed<Option<RawEntry>> {
         let b = &self.buckets[self.bucket_of(name)];
         for (i, e) in b.iter().enumerate() {
-            if e.name == name {
+            if &*e.name == name {
                 return Probed::new(Some(e.clone()), i as u64 + 1);
             }
         }
@@ -256,7 +268,7 @@ impl DirIndex for HashedDir {
         let idx = self.bucket_of(name);
         let bucket = &mut self.buckets[idx];
         for (i, e) in bucket.iter().enumerate() {
-            if e.name == name {
+            if &*e.name == name {
                 let probes = i as u64 + 1;
                 let removed = bucket.remove(i);
                 self.len -= 1;
@@ -270,8 +282,8 @@ impl DirIndex for HashedDir {
         self.len
     }
 
-    fn entries(&self) -> Vec<RawEntry> {
-        self.buckets.iter().flatten().cloned().collect()
+    fn iter_entries(&self) -> Box<dyn Iterator<Item = &RawEntry> + '_> {
+        Box::new(self.buckets.iter().flatten())
     }
 
     fn kind(&self) -> DirIndexKind {
@@ -294,7 +306,7 @@ impl DirIndex for HashedDir {
 /// directory experiment needs.
 #[derive(Debug, Clone, Default)]
 pub struct BTreeDir {
-    map: BTreeMap<String, (Ino, FileType)>,
+    map: BTreeMap<Arc<str>, RawEntry>,
 }
 
 impl BTreeDir {
@@ -311,33 +323,22 @@ impl BTreeDir {
 impl DirIndex for BTreeDir {
     fn lookup(&self, name: &str) -> Probed<Option<RawEntry>> {
         let probes = self.log_probes();
-        let value = self.map.get(name).map(|&(ino, file_type)| RawEntry {
-            name: name.to_owned(),
-            ino,
-            file_type,
-        });
+        let value = self.map.get(name).cloned();
         Probed::new(value, probes)
     }
 
     fn insert(&mut self, entry: RawEntry) -> Probed<bool> {
         let probes = self.log_probes();
-        if self.map.contains_key(&entry.name) {
+        if self.map.contains_key(&*entry.name) {
             return Probed::new(false, probes);
         }
-        self.map.insert(entry.name, (entry.ino, entry.file_type));
+        self.map.insert(entry.name.clone(), entry);
         Probed::new(true, probes + 1)
     }
 
     fn remove(&mut self, name: &str) -> Probed<Option<RawEntry>> {
         let probes = self.log_probes();
-        let value = self
-            .map
-            .remove_entry(name)
-            .map(|(name, (ino, file_type))| RawEntry {
-                name,
-                ino,
-                file_type,
-            });
+        let value = self.map.remove(name);
         Probed::new(value, probes)
     }
 
@@ -345,15 +346,8 @@ impl DirIndex for BTreeDir {
         self.map.len()
     }
 
-    fn entries(&self) -> Vec<RawEntry> {
-        self.map
-            .iter()
-            .map(|(name, &(ino, file_type))| RawEntry {
-                name: name.clone(),
-                ino,
-                file_type,
-            })
-            .collect()
+    fn iter_entries(&self) -> Box<dyn Iterator<Item = &RawEntry> + '_> {
+        Box::new(self.map.values())
     }
 
     fn kind(&self) -> DirIndexKind {
@@ -371,7 +365,7 @@ mod tests {
 
     fn entry(name: &str, ino: u64) -> RawEntry {
         RawEntry {
-            name: name.to_owned(),
+            name: name.into(),
             ino: Ino(ino),
             file_type: FileType::Regular,
         }
@@ -389,8 +383,8 @@ mod tests {
         assert_eq!(removed.ino, Ino(1));
         assert_eq!(d.remove("a").value, None);
         assert_eq!(d.len(), 1);
-        let names: Vec<String> = d.entries().into_iter().map(|e| e.name).collect();
-        assert_eq!(names, vec!["b".to_owned()]);
+        let names: Vec<Arc<str>> = d.iter_entries().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec![Arc::from("b")]);
     }
 
     #[test]
@@ -466,6 +460,26 @@ mod tests {
         d.insert(entry("b", 2));
         assert_eq!(copy.len(), 1);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn entries_share_name_allocations() {
+        for kind in [
+            DirIndexKind::Linear,
+            DirIndexKind::Hashed,
+            DirIndexKind::BTree,
+        ] {
+            let mut d = new_index(kind);
+            let e = entry("shared", 9);
+            let name = e.name.clone();
+            d.insert(e);
+            let owned = d.entries();
+            assert!(
+                Arc::ptr_eq(&owned[0].name, &name),
+                "{kind:?}: owned entries must share the interned name"
+            );
+            assert_eq!(d.iter_entries().count(), 1);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! was done so the simulation layer can charge realistic service times.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use crate::alloc::{new_allocator, AllocatorKind, BlockAllocator, Extent};
 use crate::attr::{DirEntry, FileAttr, FileType, Ino, Mode, DEFAULT_DIR_MODE, DEFAULT_FILE_MODE};
@@ -75,37 +76,76 @@ impl Default for MemFsConfig {
     }
 }
 
-#[derive(Debug)]
+/// A directory index shared structurally between the live tree and its
+/// snapshots (WAFL-style copy-on-write). Cloning is a refcount bump; the
+/// first mutation after a snapshot clones just this one directory.
+#[derive(Debug, Clone)]
+struct SharedIndex(Arc<Box<dyn DirIndex>>);
+
+impl SharedIndex {
+    fn new(index: Box<dyn DirIndex>) -> Self {
+        SharedIndex(Arc::new(index))
+    }
+
+    /// Mutable access, cloning the index first if a snapshot still shares it
+    /// (the object-safe equivalent of `Arc::make_mut`).
+    fn make_mut(&mut self) -> &mut Box<dyn DirIndex> {
+        if Arc::get_mut(&mut self.0).is_none() {
+            self.0 = Arc::new(self.0.clone_box());
+        }
+        Arc::get_mut(&mut self.0).expect("just made unique")
+    }
+}
+
+impl std::ops::Deref for SharedIndex {
+    type Target = dyn DirIndex;
+    fn deref(&self) -> &Self::Target {
+        self.0.as_ref().as_ref()
+    }
+}
+
+/// A block allocator shared structurally between the live tree and its
+/// snapshots, same copy-on-write discipline as [`SharedIndex`].
+#[derive(Debug, Clone)]
+struct SharedAlloc(Arc<Box<dyn BlockAllocator>>);
+
+impl SharedAlloc {
+    fn new(allocator: Box<dyn BlockAllocator>) -> Self {
+        SharedAlloc(Arc::new(allocator))
+    }
+
+    fn make_mut(&mut self) -> &mut Box<dyn BlockAllocator> {
+        if Arc::get_mut(&mut self.0).is_none() {
+            self.0 = Arc::new(self.0.clone_box());
+        }
+        Arc::get_mut(&mut self.0).expect("just made unique")
+    }
+}
+
+impl std::ops::Deref for SharedAlloc {
+    type Target = dyn BlockAllocator;
+    fn deref(&self) -> &Self::Target {
+        self.0.as_ref().as_ref()
+    }
+}
+
+/// Inode payloads sit behind `Arc` so that capturing an [`FsImage`]
+/// (checkpoint / snapshot) is O(live inodes) pointer bumps rather than a
+/// deep copy of every byte; mutations go through `Arc::make_mut`, which
+/// clones only payloads a snapshot still shares.
+#[derive(Debug, Clone)]
 enum InodeData {
     Regular {
-        data: Vec<u8>,
-        extents: Vec<Extent>,
+        data: Arc<Vec<u8>>,
+        extents: Arc<Vec<Extent>>,
     },
     Dir {
-        index: Box<dyn DirIndex>,
+        index: SharedIndex,
         parent: Ino,
     },
     Symlink {
-        target: String,
+        target: Arc<str>,
     },
-}
-
-impl Clone for InodeData {
-    fn clone(&self) -> Self {
-        match self {
-            InodeData::Regular { data, extents } => InodeData::Regular {
-                data: data.clone(),
-                extents: extents.clone(),
-            },
-            InodeData::Dir { index, parent } => InodeData::Dir {
-                index: index.clone_box(),
-                parent: *parent,
-            },
-            InodeData::Symlink { target } => InodeData::Symlink {
-                target: target.clone(),
-            },
-        }
-    }
 }
 
 #[derive(Debug, Clone)]
@@ -113,7 +153,7 @@ struct Inode {
     attr: FileAttr,
     data: InodeData,
     open_count: u32,
-    xattrs: BTreeMap<String, Vec<u8>>,
+    xattrs: Arc<BTreeMap<String, Vec<u8>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -123,21 +163,11 @@ struct OpenFile {
     flags: OpenFlags,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FsImage {
     inodes: BTreeMap<u64, Inode>,
-    allocator: Box<dyn BlockAllocator>,
+    allocator: SharedAlloc,
     next_ino: u64,
-}
-
-impl Clone for FsImage {
-    fn clone(&self) -> Self {
-        FsImage {
-            inodes: self.inodes.clone(),
-            allocator: self.allocator.clone_box(),
-            next_ino: self.next_ino,
-        }
-    }
 }
 
 /// The in-memory file system. See the [crate docs](crate) for an overview.
@@ -162,7 +192,7 @@ pub struct MemFs {
     config: MemFsConfig,
     inodes: BTreeMap<u64, Inode>,
     next_ino: u64,
-    allocator: Box<dyn BlockAllocator>,
+    allocator: SharedAlloc,
     journal: Journal,
     open_files: BTreeMap<u64, OpenFile>,
     next_fd: u64,
@@ -189,7 +219,7 @@ impl Clone for MemFs {
             config: self.config.clone(),
             inodes: self.inodes.clone(),
             next_ino: self.next_ino,
-            allocator: self.allocator.clone_box(),
+            allocator: self.allocator.clone(),
             journal: self.journal.clone(),
             open_files: self.open_files.clone(),
             next_fd: self.next_fd,
@@ -221,14 +251,14 @@ impl MemFs {
             Inode {
                 attr: root_attr,
                 data: InodeData::Dir {
-                    index: new_index(config.dir_index),
+                    index: SharedIndex::new(new_index(config.dir_index)),
                     parent: ROOT_INO,
                 },
                 open_count: 0,
-                xattrs: BTreeMap::new(),
+                xattrs: Arc::default(),
             },
         );
-        let allocator = new_allocator(config.allocator, config.total_blocks);
+        let allocator = SharedAlloc::new(new_allocator(config.allocator, config.total_blocks));
         let journal = Journal::new(config.journal_mode);
         MemFs {
             config,
@@ -339,14 +369,14 @@ impl MemFs {
 
     fn dir_index(&self, ino: Ino) -> FsResult<&dyn DirIndex> {
         match &self.inode(ino)?.data {
-            InodeData::Dir { index, .. } => Ok(index.as_ref()),
+            InodeData::Dir { index, .. } => Ok(&**index),
             _ => Err(FsError::NotDir),
         }
     }
 
     fn dir_index_mut(&mut self, ino: Ino) -> FsResult<&mut Box<dyn DirIndex>> {
         match &mut self.inode_mut(ino)?.data {
-            InodeData::Dir { index, .. } => Ok(index),
+            InodeData::Dir { index, .. } => Ok(index.make_mut()),
             _ => Err(FsError::NotDir),
         }
     }
@@ -354,7 +384,7 @@ impl MemFs {
     /// Resolve a path to an inode, following symlinks in non-final
     /// components and, if `follow_last`, in the final one too.
     fn resolve(&mut self, path: &FsPath, follow_last: bool) -> FsResult<Ino> {
-        let mut comps: VecDeque<String> = path.components().iter().cloned().collect();
+        let mut comps: VecDeque<Arc<str>> = path.components().iter().cloned().collect();
         let mut cur = ROOT_INO;
         let mut cur_path = FsPath::root();
         let mut hops: u64 = 0;
@@ -386,7 +416,7 @@ impl MemFs {
                 } else {
                     FsPath::parse(&format!("{cur_path}/{target}"))?
                 };
-                let mut rebuilt: VecDeque<String> = tpath.components().iter().cloned().collect();
+                let mut rebuilt: VecDeque<Arc<str>> = tpath.components().iter().cloned().collect();
                 rebuilt.extend(comps.drain(..));
                 comps = rebuilt;
                 cur = ROOT_INO;
@@ -400,8 +430,12 @@ impl MemFs {
     }
 
     /// Resolve the parent directory of `path`; returns `(dir_ino, name)`.
-    fn resolve_parent(&mut self, path: &FsPath) -> FsResult<(Ino, String)> {
-        let name = path.file_name().ok_or(FsError::InvalidArgument)?.to_owned();
+    fn resolve_parent(&mut self, path: &FsPath) -> FsResult<(Ino, Arc<str>)> {
+        let name = path
+            .components()
+            .last()
+            .cloned()
+            .ok_or(FsError::InvalidArgument)?;
         let parent = path.parent().expect("non-root path has a parent");
         let dir = self.resolve(&parent, true)?;
         if !self.inode(dir)?.attr.is_dir() {
@@ -444,16 +478,17 @@ impl MemFs {
         let needed = self.blocks_for(new_size);
         let current = self.inode(ino)?.attr.blocks;
         if needed > current {
-            let grant = self.allocator.allocate(needed - current)?;
+            let grant = self.allocator.make_mut().allocate(needed - current)?;
             self.cost.alloc_scans(grant.scan_cost);
             self.cost.blocks_allocated(needed - current);
             if let InodeData::Regular { extents, .. } = &mut self.inode_mut(ino)?.data {
-                extents.extend(grant.extents);
+                Arc::make_mut(extents).extend(grant.extents);
             }
         } else if needed < current {
             let mut to_free = current - needed;
             let mut freed: Vec<Extent> = Vec::new();
             if let InodeData::Regular { extents, .. } = &mut self.inode_mut(ino)?.data {
+                let extents = Arc::make_mut(extents);
                 while to_free > 0 {
                     let last = extents.last_mut().expect("block count matches extents");
                     if last.len <= to_free {
@@ -470,7 +505,7 @@ impl MemFs {
                     }
                 }
             }
-            self.allocator.free(&freed);
+            self.allocator.make_mut().free(&freed);
             self.cost.blocks_freed(current - needed);
         } else if needed == 0 && new_size <= self.config.inline_max {
             self.cost.inline_write();
@@ -489,7 +524,7 @@ impl MemFs {
                 let node = self.inodes.remove(&ino.0).expect("checked above");
                 if let InodeData::Regular { extents, .. } = node.data {
                     let n: u64 = extents.iter().map(|e| e.len).sum();
-                    self.allocator.free(&extents);
+                    self.allocator.make_mut().free(&extents);
                     self.cost.blocks_freed(n);
                 }
             }
@@ -521,10 +556,10 @@ impl MemFs {
     fn create_node(
         &mut self,
         dir: Ino,
-        name: &str,
+        name: Arc<str>,
         file_type: FileType,
         mode: Mode,
-        symlink_target: Option<String>,
+        symlink_target: Option<Arc<str>>,
         forced_ino: Option<Ino>,
     ) -> FsResult<Ino> {
         let dir_attr = self.inode(dir)?.attr;
@@ -540,7 +575,7 @@ impl MemFs {
         self.insert_entry(
             dir,
             RawEntry {
-                name: name.to_owned(),
+                name,
                 ino,
                 file_type,
             },
@@ -548,15 +583,15 @@ impl MemFs {
         let mut attr = FileAttr::new(ino, file_type, mode, self.uid, self.gid, now);
         let data = match file_type {
             FileType::Regular => InodeData::Regular {
-                data: Vec::new(),
-                extents: Vec::new(),
+                data: Arc::new(Vec::new()),
+                extents: Arc::new(Vec::new()),
             },
             FileType::Directory => InodeData::Dir {
-                index: new_index(self.config.dir_index),
+                index: SharedIndex::new(new_index(self.config.dir_index)),
                 parent: dir,
             },
             FileType::Symlink => {
-                let target = symlink_target.clone().unwrap_or_default();
+                let target = symlink_target.unwrap_or_default();
                 attr.size = target.len() as u64;
                 InodeData::Symlink { target }
             }
@@ -567,7 +602,7 @@ impl MemFs {
                 attr,
                 data,
                 open_count: 0,
-                xattrs: BTreeMap::new(),
+                xattrs: Arc::default(),
             },
         );
         if file_type == FileType::Directory {
@@ -623,7 +658,7 @@ impl MemFs {
                 mode,
                 symlink_target,
             } => {
-                self.create_node(parent, &name, file_type, mode, symlink_target, Some(ino))?;
+                self.create_node(parent, name, file_type, mode, symlink_target, Some(ino))?;
             }
             JournalRecord::Mkdir {
                 parent,
@@ -631,7 +666,7 @@ impl MemFs {
                 ino,
                 mode,
             } => {
-                self.create_node(parent, &name, FileType::Directory, mode, None, Some(ino))?;
+                self.create_node(parent, name, FileType::Directory, mode, None, Some(ino))?;
             }
             JournalRecord::Unlink { parent, name } => {
                 let entry = self.remove_entry(parent, &name)?;
@@ -717,12 +752,13 @@ impl MemFs {
             }
             JournalRecord::SetXattr { ino, key, value } => {
                 let node = self.inode_mut(ino)?;
+                let xattrs = Arc::make_mut(&mut node.xattrs);
                 match value {
                     Some(v) => {
-                        node.xattrs.insert(key, v);
+                        xattrs.insert(key, v);
                     }
                     None => {
-                        node.xattrs.remove(&key);
+                        xattrs.remove(&key);
                     }
                 }
             }
@@ -730,17 +766,21 @@ impl MemFs {
                 // data bytes are not journaled; replay restores size/blocks
                 self.resize_blocks(ino, size)?;
                 if let InodeData::Regular { data, .. } = &mut self.inode_mut(ino)?.data {
-                    data.resize(size as usize, 0);
+                    Arc::make_mut(data).resize(size as usize, 0);
                 }
             }
         }
         Ok(())
     }
 
+    /// Capture the current on-"disk" state. With structurally shared inode
+    /// payloads this is O(live inodes) refcount bumps — the WAFL
+    /// consistency-point model — not a deep copy of file bytes, directory
+    /// stores or the allocator.
     fn image(&self) -> FsImage {
         FsImage {
             inodes: self.inodes.clone(),
-            allocator: self.allocator.clone_box(),
+            allocator: self.allocator.clone(),
             next_ino: self.next_ino,
         }
     }
@@ -760,9 +800,10 @@ impl MemFs {
         Ok(())
     }
 
-    /// Names of existing snapshots.
-    pub fn snapshot_names(&self) -> Vec<String> {
-        self.snapshots.keys().cloned().collect()
+    /// Names of existing snapshots, in sorted order, borrowed — no per-call
+    /// `Vec<String>` allocation.
+    pub fn snapshot_names(&self) -> impl Iterator<Item = &str> {
+        self.snapshots.keys().map(String::as_str)
     }
 
     /// Delete a snapshot.
@@ -810,7 +851,7 @@ impl MemFs {
                 if !self.inodes.contains_key(&parent.0) {
                     problems.push(format!("dir ino#{ino_num} has dangling parent {parent}"));
                 }
-                for e in index.entries() {
+                for e in index.iter_entries() {
                     match self.inodes.get(&e.ino.0) {
                         None => problems.push(format!(
                             "entry '{}' in ino#{ino_num} references missing {}",
@@ -962,7 +1003,14 @@ impl Vfs for MemFs {
         self.require_writable()?;
         let p = Self::parse(path)?;
         let (dir, name) = self.resolve_parent(&p)?;
-        let ino = self.create_node(dir, &name, FileType::Regular, DEFAULT_FILE_MODE, None, None)?;
+        let ino = self.create_node(
+            dir,
+            name.clone(),
+            FileType::Regular,
+            DEFAULT_FILE_MODE,
+            None,
+            None,
+        )?;
         self.log(JournalRecord::Create {
             parent: dir,
             name,
@@ -1010,8 +1058,14 @@ impl Vfs for MemFs {
             None => {
                 self.require_writable()?;
                 let (dir, name) = self.resolve_parent(&p)?;
-                let ino =
-                    self.create_node(dir, &name, FileType::Regular, DEFAULT_FILE_MODE, None, None)?;
+                let ino = self.create_node(
+                    dir,
+                    name.clone(),
+                    FileType::Regular,
+                    DEFAULT_FILE_MODE,
+                    None,
+                    None,
+                )?;
                 self.log(JournalRecord::Create {
                     parent: dir,
                     name,
@@ -1029,7 +1083,7 @@ impl Vfs for MemFs {
             self.require_writable()?;
             self.resize_blocks(ino, 0)?;
             if let InodeData::Regular { data, .. } = &mut self.inode_mut(ino)?.data {
-                data.clear();
+                Arc::make_mut(data).clear();
             }
             self.log(JournalRecord::SetSize { ino, size: 0 });
         }
@@ -1085,6 +1139,7 @@ impl Vfs for MemFs {
         {
             let node = self.inode_mut(of.ino)?;
             if let InodeData::Regular { data, .. } = &mut node.data {
+                let data = Arc::make_mut(data);
                 if data.len() < end as usize {
                     data.resize(end as usize, 0); // sparse hole fills with zeros
                 }
@@ -1143,7 +1198,7 @@ impl Vfs for MemFs {
         let (dir, name) = self.resolve_parent(&p)?;
         let ino = self.create_node(
             dir,
-            &name,
+            name.clone(),
             FileType::Directory,
             DEFAULT_DIR_MODE,
             None,
@@ -1325,12 +1380,13 @@ impl Vfs for MemFs {
         self.require_writable()?;
         let p = Self::parse(linkpath)?;
         let (dir, name) = self.resolve_parent(&p)?;
+        let target: Arc<str> = Arc::from(target);
         let ino = self.create_node(
             dir,
-            &name,
+            name.clone(),
             FileType::Symlink,
             0o777,
-            Some(target.to_owned()),
+            Some(target.clone()),
             None,
         )?;
         self.log(JournalRecord::Create {
@@ -1339,7 +1395,7 @@ impl Vfs for MemFs {
             ino,
             file_type: FileType::Symlink,
             mode: 0o777,
-            symlink_target: Some(target.to_owned()),
+            symlink_target: Some(target),
         });
         self.counters.symlinks += 1;
         Ok(())
@@ -1349,7 +1405,7 @@ impl Vfs for MemFs {
         let p = Self::parse(path)?;
         let ino = self.resolve(&p, false)?;
         match &self.inode(ino)?.data {
-            InodeData::Symlink { target } => Ok(target.clone()),
+            InodeData::Symlink { target } => Ok(target.to_string()),
             _ => Err(FsError::InvalidArgument),
         }
     }
@@ -1381,12 +1437,24 @@ impl Vfs for MemFs {
         let node = self.inode(ino)?;
         let attr = node.attr;
         self.check_perm(&attr, true, false, false)?;
-        let (index_entries, parent) = match &node.data {
-            InodeData::Dir { index, parent } => (index.entries(), *parent),
+        // Borrowed iteration over the index (no per-readdir Vec<RawEntry>
+        // clone); DirEntry names are materialized directly.
+        let (entries, parent) = match &node.data {
+            InodeData::Dir { index, parent } => {
+                let dir_entries: Vec<DirEntry> = index
+                    .iter_entries()
+                    .map(|e| DirEntry {
+                        name: e.name.to_string(),
+                        ino: e.ino,
+                        file_type: e.file_type,
+                    })
+                    .collect();
+                (dir_entries, *parent)
+            }
             _ => return Err(FsError::NotDir),
         };
-        self.cost.dir_probes(index_entries.len() as u64);
-        let mut out = Vec::with_capacity(index_entries.len() + 2);
+        self.cost.dir_probes(entries.len() as u64);
+        let mut out = Vec::with_capacity(entries.len() + 2);
         out.push(DirEntry {
             name: ".".to_owned(),
             ino,
@@ -1397,11 +1465,7 @@ impl Vfs for MemFs {
             ino: parent,
             file_type: FileType::Directory,
         });
-        out.extend(index_entries.into_iter().map(|e| DirEntry {
-            name: e.name,
-            ino: e.ino,
-            file_type: e.file_type,
-        }));
+        out.extend(entries);
         self.counters.readdirs += 1;
         Ok(out)
     }
@@ -1477,7 +1541,7 @@ impl Vfs for MemFs {
         }
         self.resize_blocks(ino, size)?;
         if let InodeData::Regular { data, .. } = &mut self.inode_mut(ino)?.data {
-            data.resize(size as usize, 0);
+            Arc::make_mut(data).resize(size as usize, 0);
         }
         self.log(JournalRecord::SetSize { ino, size });
         self.changes.record(ChangeKind::Write, path);
@@ -1522,7 +1586,7 @@ impl Vfs for MemFs {
         let ino = self.resolve(&p, true)?;
         let now = self.tick();
         let node = self.inode_mut(ino)?;
-        node.xattrs.insert(key.to_owned(), value.to_vec());
+        Arc::make_mut(&mut node.xattrs).insert(key.to_owned(), value.to_vec());
         node.attr.ctime_ns = now;
         self.log(JournalRecord::SetXattr {
             ino,
@@ -1540,7 +1604,7 @@ impl Vfs for MemFs {
         let ino = self.resolve(&p, true)?;
         let now = self.tick();
         let node = self.inode_mut(ino)?;
-        if node.xattrs.remove(key).is_none() {
+        if Arc::make_mut(&mut node.xattrs).remove(key).is_none() {
             return Err(FsError::NotFound);
         }
         node.attr.ctime_ns = now;
@@ -1877,7 +1941,7 @@ mod tests {
         assert!(snap.stat("/a").is_ok(), "snapshot still sees /a");
         assert_eq!(snap.stat("/b").unwrap_err(), FsError::NotFound);
         assert_eq!(snap.unlink("/a").unwrap_err(), FsError::ReadOnly);
-        assert_eq!(f.snapshot_names(), vec!["snap1".to_owned()]);
+        assert_eq!(f.snapshot_names().collect::<Vec<_>>(), vec!["snap1"]);
         assert_eq!(f.snapshot_create("snap1").unwrap_err(), FsError::Exists);
         f.snapshot_delete("snap1").unwrap();
         assert_eq!(f.snapshot_open("snap1").unwrap_err(), FsError::NotFound);

@@ -14,6 +14,7 @@
 use crate::attr::{FileType, Ino, Mode};
 use serde::{Deserialize, Serialize};
 use simcore::telemetry;
+use std::sync::Arc;
 
 /// When journal records become persistent (paper §2.7.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -36,8 +37,8 @@ pub enum JournalRecord {
     Create {
         /// Parent directory inode.
         parent: Ino,
-        /// Entry name.
-        name: String,
+        /// Entry name (interned; shared with the directory entry).
+        name: Arc<str>,
         /// New inode number.
         ino: Ino,
         /// Regular or symlink.
@@ -45,14 +46,14 @@ pub enum JournalRecord {
         /// Permission bits.
         mode: Mode,
         /// Symlink target when `file_type` is a symlink.
-        symlink_target: Option<String>,
+        symlink_target: Option<Arc<str>>,
     },
     /// A directory was created.
     Mkdir {
         /// Parent directory inode.
         parent: Ino,
-        /// Entry name.
-        name: String,
+        /// Entry name (interned; shared with the directory entry).
+        name: Arc<str>,
         /// New inode number.
         ino: Ino,
         /// Permission bits.
@@ -62,33 +63,33 @@ pub enum JournalRecord {
     Unlink {
         /// Parent directory inode.
         parent: Ino,
-        /// Entry name.
-        name: String,
+        /// Entry name (interned; shared with the directory entry).
+        name: Arc<str>,
     },
     /// An empty directory was removed.
     Rmdir {
         /// Parent directory inode.
         parent: Ino,
-        /// Entry name.
-        name: String,
+        /// Entry name (interned; shared with the directory entry).
+        name: Arc<str>,
     },
     /// An entry moved (atomic rename, paper §2.6.3).
     Rename {
         /// Source directory inode.
         from_parent: Ino,
         /// Source entry name.
-        from_name: String,
+        from_name: Arc<str>,
         /// Destination directory inode.
         to_parent: Ino,
         /// Destination entry name.
-        to_name: String,
+        to_name: Arc<str>,
     },
     /// A hard link was added.
     Link {
         /// Directory receiving the new entry.
         parent: Ino,
-        /// New entry name.
-        name: String,
+        /// New entry name (interned; shared with the directory entry).
+        name: Arc<str>,
         /// Linked inode.
         target: Ino,
     },
@@ -341,7 +342,7 @@ mod tests {
     fn rec(name: &str) -> JournalRecord {
         JournalRecord::Unlink {
             parent: Ino(1),
-            name: name.to_owned(),
+            name: name.into(),
         }
     }
 

@@ -8,11 +8,17 @@
 
 use crate::error::{FsError, FsResult};
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum length of a single name component, as in most POSIX systems.
 pub const NAME_MAX: usize = 255;
 
 /// A parsed, normalized absolute path.
+///
+/// Components are interned behind `Arc<str>` so that handing a component to
+/// a directory entry, journal record or resolver stack frame is a refcount
+/// bump, not a string copy — path resolution is the hottest metadata path in
+/// the simulation.
 ///
 /// # Example
 ///
@@ -25,7 +31,7 @@ pub const NAME_MAX: usize = 255;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct FsPath {
-    components: Vec<String>,
+    components: Vec<Arc<str>>,
 }
 
 impl FsPath {
@@ -51,7 +57,7 @@ impl FsPath {
         if path.is_empty() {
             return Err(FsError::InvalidArgument);
         }
-        let mut components: Vec<String> = Vec::new();
+        let mut components: Vec<Arc<str>> = Vec::new();
         for comp in path.split('/') {
             match comp {
                 "" | "." => {}
@@ -65,15 +71,16 @@ impl FsPath {
                     if name.contains('\0') {
                         return Err(FsError::InvalidArgument);
                     }
-                    components.push(name.to_owned());
+                    components.push(Arc::from(name));
                 }
             }
         }
         Ok(FsPath { components })
     }
 
-    /// The normalized components, root-first.
-    pub fn components(&self) -> &[String] {
+    /// The normalized components, root-first. Cloning a component is a
+    /// refcount bump.
+    pub fn components(&self) -> &[Arc<str>] {
         &self.components
     }
 
@@ -89,7 +96,7 @@ impl FsPath {
 
     /// Final component, if any.
     pub fn file_name(&self) -> Option<&str> {
-        self.components.last().map(String::as_str)
+        self.components.last().map(|c| &**c)
     }
 
     /// The parent path, or `None` for the root.
@@ -117,7 +124,7 @@ impl FsPath {
             return Err(FsError::NameTooLong);
         }
         let mut components = self.components.clone();
-        components.push(name.to_owned());
+        components.push(Arc::from(name));
         Ok(FsPath { components })
     }
 

@@ -245,7 +245,7 @@ impl StdFs {
         let p = crate::path::FsPath::parse(path)?;
         let mut out = self.root.clone();
         for c in p.components() {
-            out.push(c);
+            out.push(&**c);
         }
         Ok(out)
     }

@@ -42,7 +42,7 @@ proptest! {
             match op {
                 DirOp::Insert(n) => {
                     let entry = RawEntry {
-                        name: format!("f{n}"),
+                        name: format!("f{n}").into(),
                         ino: Ino(seq as u64 + 100),
                         file_type: FileType::Regular,
                     };
@@ -74,7 +74,8 @@ proptest! {
         let mut sets: Vec<Vec<String>> = indexes
             .iter()
             .map(|d| {
-                let mut v: Vec<String> = d.entries().into_iter().map(|e| e.name).collect();
+                let mut v: Vec<String> =
+                    d.entries().into_iter().map(|e| e.name.to_string()).collect();
                 v.sort();
                 v
             })

@@ -35,6 +35,9 @@ pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Entry<E>>,
+    /// Ids currently in the heap and not cancelled — lets `cancel` decide
+    /// pending vs delivered in O(1) instead of scanning the heap.
+    pending: HashSet<EventId>,
     cancelled: HashSet<EventId>,
 }
 
@@ -75,6 +78,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
         }
     }
@@ -86,7 +90,7 @@ impl<E> Scheduler<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// `true` if no events are pending.
@@ -111,6 +115,7 @@ impl<E> Scheduler<E> {
             id,
             payload,
         });
+        self.pending.insert(id);
         self.seq += 1;
         id
     }
@@ -125,20 +130,14 @@ impl<E> Scheduler<E> {
     /// Returns `true` if the event was still pending. Cancelling an already
     /// delivered or already cancelled event returns `false` and is harmless.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.seq {
+        // The pending set distinguishes "still in the heap" from "already
+        // delivered or cancelled" in O(1); the heap entry itself stays behind
+        // as a tombstone that `pop` skips lazily.
+        if !self.pending.remove(&id) {
             return false;
         }
-        // We cannot cheaply tell "already delivered" from "pending" without a
-        // side table, so keep a tombstone and let `pop` skip it; tombstones
-        // for delivered events are purged lazily.
-        if self.cancelled.contains(&id) {
-            return false;
-        }
-        let pending = self.heap.iter().any(|e| e.id == id);
-        if pending {
-            self.cancelled.insert(id);
-        }
-        pending
+        self.cancelled.insert(id);
+        true
     }
 
     /// Timestamp of the next pending event without delivering it.
@@ -151,6 +150,7 @@ impl<E> Scheduler<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
         let entry = self.heap.pop()?;
+        self.pending.remove(&entry.id);
         let at = entry.key.0 .0;
         debug_assert!(at >= self.now);
         self.now = at;
@@ -230,6 +230,29 @@ mod tests {
         assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
         assert_eq!(s.now(), SimTime::ZERO);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn mass_cancellation_from_large_heap() {
+        // Cancel every other event out of a large heap. With the O(n)
+        // heap-scan cancel this test was quadratic (50M probes); with the
+        // pending-set it is linear, and delivery order/len stay correct.
+        let mut s = Scheduler::new();
+        let n: u64 = 10_000;
+        let ids: Vec<EventId> = (0..n)
+            .map(|i| s.schedule_at(SimTime::from_nanos(i), i))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(s.cancel(*id));
+            }
+        }
+        assert_eq!(s.len() as u64, n / 2);
+        let delivered: Vec<u64> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(delivered, (0..n).step_by(2).collect::<Vec<_>>());
+        assert!(s.is_empty());
+        // cancel after delivery is still a no-op
+        assert!(!s.cancel(ids[0]));
     }
 
     #[test]

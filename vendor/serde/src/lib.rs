@@ -237,6 +237,19 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn serialize_value(&self) -> Value {
+        Value::Str((**self).to_owned())
+    }
+}
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))
+    }
+}
+
 impl Serialize for char {
     fn serialize_value(&self) -> Value {
         Value::Str(self.to_string())
