@@ -1,0 +1,9 @@
+//! FAULT — NFS under network degradation, loss and a link outage.
+//!
+//! Thin wrapper over the registered scenario `exp_fault_degrade`; the
+//! experiment logic lives in `dmetabench::scenarios`. Run every scenario at
+//! once (and compare against baselines) with `dmetabench suite`.
+
+fn main() {
+    dmetabench::suite::run_scenario_main("exp_fault_degrade");
+}

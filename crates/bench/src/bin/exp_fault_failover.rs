@@ -1,0 +1,9 @@
+//! FAULT — Lustre MDS crash and failover to the standby.
+//!
+//! Thin wrapper over the registered scenario `exp_fault_failover`; the
+//! experiment logic lives in `dmetabench::scenarios`. Run every scenario at
+//! once (and compare against baselines) with `dmetabench suite`.
+
+fn main() {
+    dmetabench::suite::run_scenario_main("exp_fault_failover");
+}

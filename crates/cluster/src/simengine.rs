@@ -147,6 +147,11 @@ pub struct WorkerTrace {
     pub finished_at: Option<SimTime>,
     /// Per-operation latency distribution.
     pub latency: LatencyHistogram,
+    /// RPC retransmissions this worker's operations performed (0 unless a
+    /// fault plan is active).
+    pub retries: u64,
+    /// Failover events this worker's operations were the first to observe.
+    pub failovers: u64,
 }
 
 /// The outcome of one simulated benchmark run.
@@ -166,6 +171,16 @@ impl SimRunResult {
     /// Total operations across all workers.
     pub fn total_ops(&self) -> u64 {
         self.workers.iter().map(|w| w.ops_done).sum()
+    }
+
+    /// Total RPC retransmissions across all workers (fault injection).
+    pub fn total_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
+    /// Total failover events observed across all workers.
+    pub fn total_failovers(&self) -> u64 {
+        self.workers.iter().map(|w| w.failovers).sum()
     }
 
     /// Merged per-operation latency distribution across all workers.
@@ -262,6 +277,8 @@ struct WState {
     samples: Vec<(SimTime, u64)>,
     op_started: SimTime,
     latency: LatencyHistogram,
+    retries: u64,
+    failovers: u64,
     /// Telemetry label of the operation in flight.
     op_name: &'static str,
     /// When the worker started blocking on a semaphore (telemetry only).
@@ -355,6 +372,8 @@ pub fn run_sim(
             samples: Vec::new(),
             op_started: SimTime::ZERO,
             latency: LatencyHistogram::new(),
+            retries: 0,
+            failovers: 0,
             op_name: "op",
             sem_wait_start: None,
         })
@@ -484,6 +503,33 @@ pub fn run_sim(
                 Ok(plan) => {
                     states[w].op_started = now;
                     states[w].op_name = op_label(&op);
+                    let f = plan.faults;
+                    if f.injected > 0 || f.retries > 0 || f.failovers > 0 {
+                        states[w].retries += u64::from(f.retries);
+                        states[w].failovers += u64::from(f.failovers);
+                        if telemetry::enabled() {
+                            let tid = telemetry::worker_tid(w);
+                            if f.injected > 0 {
+                                telemetry::count("fault.injected", u64::from(f.injected));
+                            }
+                            if f.retries > 0 {
+                                telemetry::count("rpc.retry", u64::from(f.retries));
+                            }
+                            if f.failovers > 0 {
+                                telemetry::count("failover", u64::from(f.failovers));
+                            }
+                            if !f.stall.is_zero() {
+                                let name = if f.failovers > 0 {
+                                    "failover"
+                                } else {
+                                    "rpc.retry"
+                                };
+                                telemetry::span(pid, tid, name, "fault", now, now + f.stall);
+                            } else {
+                                telemetry::instant(pid, tid, "fault.injected", "fault", now);
+                            }
+                        }
+                    }
                     for &(server, dur) in &plan.pauses {
                         apply_pause(sched, servers, server.0, dur, now, pid, "consistency-point");
                     }
@@ -835,6 +881,8 @@ pub fn run_sim(
                 finished_at: st.finished_at,
                 samples: st.samples,
                 latency: st.latency,
+                retries: st.retries,
+                failovers: st.failovers,
             })
             .collect(),
         wall_time,

@@ -218,6 +218,9 @@ pub fn run_threads(
                 // real mode does not time individual ops (the syscall is
                 // the measurement); the histogram stays empty
                 latency: simcore::LatencyHistogram::new(),
+                // fault injection is simulation-only
+                retries: 0,
+                failovers: 0,
             }
         })
         .collect();

@@ -11,6 +11,7 @@
 use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
 use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
 use dmetabench::{all_plugin_names, baseline, bench, suite, BenchParams, Runner};
+use netsim::fault::FaultSpec;
 use simcore::SimDuration;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,6 +47,10 @@ OPTIONS:
   --mode <sim|real>          execution mode               [default: sim]
   --fs <MODEL>               sim model: nfs, lustre, cxfs, ontapgx, afs,
                              local                        [default: nfs]
+  --faults <SPEC>            sim mode fault schedule (nfs/lustre/afs only):
+                             comma-separated down@A..B, degrade@A..B:Fx,
+                             loss@A..B:P, crash:S@T+D, seed=N; times accept
+                             s/ms/us/ns suffixes (bare numbers = seconds)
   --nodes <N>                simulated nodes              [default: 4]
   --slots-per-node <N>       simulated MPI slots per node [default: 2]
   --operations <A,B,...>     comma-separated plugin list  [default: MakeFiles]
@@ -73,6 +78,7 @@ EXAMPLES:
 struct Cli {
     mode: String,
     fs: String,
+    faults: Option<FaultSpec>,
     nodes: usize,
     slots_per_node: usize,
     threads: usize,
@@ -86,6 +92,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         mode: "sim".into(),
         fs: "nfs".into(),
+        faults: None,
         nodes: 4,
         slots_per_node: 2,
         threads: 4,
@@ -115,6 +122,11 @@ fn parse_args() -> Result<Option<Cli>, String> {
             }
             "--mode" => cli.mode = value("--mode")?,
             "--fs" => cli.fs = value("--fs")?,
+            "--faults" => {
+                cli.faults = Some(
+                    FaultSpec::parse(&value("--faults")?).map_err(|e| format!("--faults: {e}"))?,
+                )
+            }
             "--nodes" => {
                 cli.nodes = value("--nodes")?
                     .parse()
@@ -182,13 +194,40 @@ fn parse_args() -> Result<Option<Cli>, String> {
     Ok(Some(cli))
 }
 
-fn model_factory(fs: &str) -> Result<Box<dyn Fn() -> Box<dyn DistFs>>, String> {
+fn model_factory(
+    fs: &str,
+    faults: Option<&FaultSpec>,
+) -> Result<Box<dyn Fn() -> Box<dyn DistFs>>, String> {
+    // Each model instance compiles its own plan from the shared spec so
+    // every run gets an identical, independently-seeded loss stream.
+    let spec = faults.cloned();
     let f: Box<dyn Fn() -> Box<dyn DistFs>> = match fs {
-        "nfs" => Box::new(|| Box::new(NfsFs::with_defaults())),
-        "lustre" => Box::new(|| Box::new(LustreFs::with_defaults())),
+        "nfs" => Box::new(move || {
+            let mut m = NfsFs::with_defaults();
+            if let Some(spec) = &spec {
+                m.set_faults(spec.build());
+            }
+            Box::new(m)
+        }),
+        "lustre" => Box::new(move || {
+            let mut m = LustreFs::with_defaults();
+            if let Some(spec) = &spec {
+                m.set_faults(spec.build());
+            }
+            Box::new(m)
+        }),
+        "afs" => Box::new(move || {
+            let mut m = AfsFs::with_defaults();
+            if let Some(spec) = &spec {
+                m.set_faults(spec.build());
+            }
+            Box::new(m)
+        }),
+        "cxfs" | "ontapgx" | "local" if faults.is_some() => {
+            return Err(format!("--faults is not supported for --fs '{fs}'"))
+        }
         "cxfs" => Box::new(|| Box::new(CxfsFs::with_defaults())),
         "ontapgx" => Box::new(|| Box::new(OntapGxFs::with_defaults())),
-        "afs" => Box::new(|| Box::new(AfsFs::with_defaults())),
         "local" => Box::new(|| Box::new(LocalFs::with_defaults())),
         other => return Err(format!("unknown --fs '{other}'")),
     };
@@ -544,7 +583,7 @@ fn main() -> ExitCode {
     let run_campaign = || -> Result<dmetabench::Campaign, String> {
         match cli.mode.as_str() {
             "sim" => {
-                let factory = model_factory(&cli.fs)?;
+                let factory = model_factory(&cli.fs, cli.faults.as_ref())?;
                 // volume-addressed models need volume-prefixed directories
                 let mut params = cli.params.clone();
                 if matches!(cli.fs.as_str(), "ontapgx" | "afs") && params.path_list.is_none() {
@@ -559,6 +598,9 @@ fn main() -> ExitCode {
                 Ok(Runner::new(params).run_simulated(&placement, factory, &SimConfig::default()))
             }
             "real" => {
+                if cli.faults.is_some() {
+                    return Err("--faults only applies to --mode sim".into());
+                }
                 let workdir = cli.params.workdir.clone();
                 eprintln!(
                     "real mode: up to {} worker threads on {}",

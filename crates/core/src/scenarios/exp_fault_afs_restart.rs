@@ -1,0 +1,122 @@
+//! FAULT — AFS file-server crash, restart and callback-break storm.
+//!
+//! The paper leans on AFS callbacks for locally-served stats (§2.6.1,
+//! §4.7.3); this scenario exercises what the paper never runs: the server
+//! *restarting*. A restarted AFS file server has lost its callback state,
+//! so every client cache entry is broken at once and the next stat of each
+//! file pays a fetch RPC again. While the server is down, the
+//! single-threaded cache manager retries with backoff and the whole node
+//! stalls behind it.
+//!
+//! Workload: each worker creates a file then stats it three times (1 RPC +
+//! 3 local hits per group). Server 2 — the one serving `/vol1` — crashes
+//! at 10 s and restarts at 12 s.
+
+use crate::suite::{fmt_ops, make_workers, node_names, ExpTable, ReportBuilder};
+use crate::{chart, preprocess, ResultSet};
+use cluster::{run_sim, OpStream, SimConfig, WorkerSpec};
+use dfs::{AfsFs, MetaOp};
+use netsim::fault::FaultSpec;
+use simcore::SimDuration;
+
+fn streams(workers: &[WorkerSpec]) -> Vec<Box<dyn OpStream>> {
+    workers
+        .iter()
+        .map(|w| {
+            let dir = format!("/vol1/n{}p{}", w.node, w.proc);
+            let s: Box<dyn OpStream> = Box::new(move |i: u64| {
+                let group = i / 4 * 4;
+                Some(if i.is_multiple_of(4) {
+                    MetaOp::Create {
+                        path: format!("{dir}/f{group}"),
+                        data_bytes: 0,
+                    }
+                } else {
+                    MetaOp::Stat {
+                        path: format!("{dir}/f{group}"),
+                    }
+                })
+            });
+            s
+        })
+        .collect()
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let mut model = AfsFs::with_defaults();
+    // /vol1 lives on file server 1 → ServerId(2) in the AFS server layout.
+    model.set_faults(
+        FaultSpec::parse("crash:2@10s+2s")
+            .expect("valid spec")
+            .build(),
+    );
+    let workers = make_workers(2, 2);
+    let streams = streams(&workers);
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(20));
+    cfg.node_cores = 1;
+    let res = run_sim(&mut model, &node_names(2), workers, streams, &cfg);
+    let retries = res.total_retries();
+    let breaks = model.callback_breaks();
+    let rs = ResultSet::from_run("CreateStat", 2, 2, &res);
+    let pre = preprocess(&rs, &[]);
+
+    let window = |from: f64, to: f64| -> f64 {
+        let rows: Vec<_> = pre
+            .intervals
+            .iter()
+            .filter(|r| r.timestamp > from && r.timestamp <= to)
+            .collect();
+        rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64
+    };
+
+    let steady = window(5.0, 10.0);
+    let outage = window(10.0, 12.5);
+    let recovered = window(15.0, 20.0);
+
+    let mut t = ExpTable::new(
+        "AFS file-server restart — create+stat 2 nodes × 2 ppn, /vol1's server down 10–12 s",
+        &["window", "ops/s"],
+    );
+    t.row(vec!["steady (5–10 s)".into(), fmt_ops(steady)]);
+    t.row(vec!["outage (10–12.5 s)".into(), fmt_ops(outage)]);
+    t.row(vec!["recovered (15–20 s)".into(), fmt_ops(recovered)]);
+    b.table(t);
+    b.note(chart::time_chart(&pre));
+    b.artifact("fault_afs_restart.svg", chart::svg_time_chart(&pre));
+
+    b.metric_tol("steady_ops", steady, 1e-6);
+    b.metric_tol("outage_ops", outage, 1e-6);
+    b.metric_tol("recovered_ops", recovered, 1e-6);
+    b.metric_exact("rpc_retries", retries as f64);
+    b.metric_exact("callback_breaks", breaks as f64);
+
+    b.check(
+        "outage_stalls_the_cache_manager",
+        outage < steady * 0.3,
+        format!("{steady} → {outage} ops/s with the server down"),
+    );
+    b.check(
+        "cache_manager_retries",
+        retries >= 1,
+        format!("{retries} timeout/backoff retries"),
+    );
+    b.check(
+        "restart_breaks_callbacks_in_a_storm",
+        breaks > 0,
+        format!("{breaks} callbacks broken on restart"),
+    );
+    b.check(
+        "service_recovers_after_restart",
+        recovered > steady * 0.7,
+        format!("{steady} → {recovered} ops/s after refetching callbacks"),
+    );
+    b.summary(format!(
+        "ops/s {} → {} during the 2 s outage, {} recovered; {} retries, {} callbacks broken by the restart storm",
+        fmt_ops(steady),
+        fmt_ops(outage),
+        fmt_ops(recovered),
+        retries,
+        breaks
+    ));
+}

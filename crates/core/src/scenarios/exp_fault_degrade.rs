@@ -1,0 +1,114 @@
+//! FAULT — NFS under a degraded network, plus packet loss and a link outage.
+//!
+//! Extends the paper's network-sensitivity axis (§4.6) past healthy links:
+//! a `degrade@..:Fx` window multiplies latency and divides bandwidth, so a
+//! latency-bound MakeFiles run on NFS must slow monotonically with the
+//! factor. A second leg drives the soft-mount recovery path: an RPC-loss
+//! window plus a hard 1 s link outage provoke timeouts and exponential
+//! backoff, which shows up as nonzero retry counters and fewer completed
+//! operations than the clean run.
+
+use crate::suite::{fmt_ops, run_makefiles, ExpTable, ReportBuilder};
+use cluster::SimConfig;
+use dfs::NfsFs;
+use netsim::fault::FaultSpec;
+use simcore::{SimDuration, SimTime};
+
+const FACTORS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(20));
+    cfg.node_cores = 1;
+    cfg
+}
+
+fn run_leg(spec: Option<&FaultSpec>) -> (f64, u64) {
+    let mut model = NfsFs::with_defaults();
+    if let Some(spec) = spec {
+        model.set_faults(spec.build());
+    }
+    let res = run_makefiles(&mut model, 4, 1, &cfg());
+    (res.stonewall_ops_per_sec(), res.total_retries())
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    // Leg 1: whole-run degradation sweep.
+    let mut sweep = Vec::new();
+    for factor in FACTORS {
+        let spec = (factor != 1.0)
+            .then(|| FaultSpec::default().degrade(SimTime::ZERO, SimTime::from_secs(3600), factor));
+        sweep.push(run_leg(spec.as_ref()));
+    }
+
+    // Leg 2: lossy window + hard outage exercising timeout/backoff recovery.
+    let lossy_spec = FaultSpec::parse("loss@5s..8s:0.35,down@12s..13s,seed=7").expect("valid spec");
+    let (lossy_tput, lossy_retries) = run_leg(Some(&lossy_spec));
+
+    let mut t = ExpTable::new(
+        "Network degradation — MakeFiles 4 nodes × 1 ppn on NFS, 20 s runs",
+        &["fault", "ops/s", "retries"],
+    );
+    for (factor, &(tput, retries)) in FACTORS.iter().zip(&sweep) {
+        let label = if *factor == 1.0 {
+            "healthy".to_string()
+        } else {
+            format!("degrade ×{factor}")
+        };
+        t.row(vec![label, fmt_ops(tput), retries.to_string()]);
+    }
+    t.row(vec![
+        "loss 35% @5–8 s + down @12–13 s".into(),
+        fmt_ops(lossy_tput),
+        lossy_retries.to_string(),
+    ]);
+    b.table(t);
+
+    for (factor, &(tput, _)) in FACTORS.iter().zip(&sweep) {
+        b.metric_tol(&format!("degrade_x{factor}_ops"), tput, 1e-6);
+    }
+    b.metric_tol("lossy_ops", lossy_tput, 1e-6);
+    b.metric_exact("lossy_retries", lossy_retries as f64);
+
+    let clean = sweep[0].0;
+    let worst = sweep[FACTORS.len() - 1].0;
+    b.check(
+        "throughput_monotone_in_degradation",
+        sweep.windows(2).all(|w| w[1].0 < w[0].0),
+        format!(
+            "ops/s by factor: {}",
+            sweep
+                .iter()
+                .map(|&(t, _)| fmt_ops(t))
+                .collect::<Vec<_>>()
+                .join(" > ")
+        ),
+    );
+    b.check(
+        "x8_degradation_hurts",
+        worst < clean * 0.8,
+        format!("{} healthy vs {} at ×8", fmt_ops(clean), fmt_ops(worst)),
+    );
+    b.check(
+        "degradation_alone_needs_no_retries",
+        sweep.iter().all(|&(_, r)| r == 0),
+        "slow links delay RPCs but never lose them".to_string(),
+    );
+    b.check(
+        "loss_provokes_retries",
+        lossy_retries >= 1,
+        format!("{lossy_retries} timeout/backoff retries"),
+    );
+    b.check(
+        "recovery_costs_throughput",
+        lossy_tput < clean,
+        format!("{} clean vs {} lossy", fmt_ops(clean), fmt_ops(lossy_tput)),
+    );
+    b.summary(format!(
+        "ops/s {} → {} from ×1 to ×8 degradation; loss+outage leg retried {} times at {}",
+        fmt_ops(clean),
+        fmt_ops(worst),
+        lossy_retries,
+        fmt_ops(lossy_tput)
+    ));
+}

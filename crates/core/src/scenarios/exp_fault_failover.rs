@@ -1,0 +1,95 @@
+//! FAULT — Lustre MDS crash + failover to a standby mid-run.
+//!
+//! Beyond the paper's healthy clusters: the active MDS crashes at t = 20 s.
+//! Clients time out, reconnect to the standby and wait for journal replay
+//! (`failover_detect` + `failover_replay` = 4.5 s); service then resumes on
+//! the standby. The shape to hold: throughput collapses for exactly the
+//! takeover window, recovers afterwards, and the failover is attributed to
+//! exactly one operation while every stalled client accounts a retry.
+
+use crate::suite::{fmt_ops, run_makefiles, ExpTable, ReportBuilder};
+use crate::{chart, preprocess, ResultSet};
+use cluster::SimConfig;
+use dfs::LustreFs;
+use netsim::fault::FaultSpec;
+use simcore::SimDuration;
+
+pub fn run(b: &mut ReportBuilder) {
+    let mut model = LustreFs::with_defaults();
+    model.set_faults(
+        FaultSpec::parse("crash:0@20s+5s")
+            .expect("valid spec")
+            .build(),
+    );
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(60));
+    cfg.node_cores = 1;
+    let res = run_makefiles(&mut model, 4, 1, &cfg);
+    let retries = res.total_retries();
+    let failovers = res.total_failovers();
+    let rs = ResultSet::from_run("MakeFiles", 4, 1, &res);
+    let pre = preprocess(&rs, &[]);
+
+    let window = |from: f64, to: f64| -> f64 {
+        let rows: Vec<_> = pre
+            .intervals
+            .iter()
+            .filter(|r| r.timestamp > from && r.timestamp <= to)
+            .collect();
+        rows.iter().map(|r| r.throughput).sum::<f64>() / rows.len().max(1) as f64
+    };
+
+    let mut t = ExpTable::new(
+        "MDS failover — MakeFiles 4 nodes × 1 ppn on Lustre, crash at 20 s, standby takes over at 24.5 s",
+        &["window", "ops/s"],
+    );
+    let windows = [
+        ("healthy (2–20 s)", 2.0, 20.0),
+        ("takeover (20–25 s)", 20.0, 25.0),
+        ("standby serving (30–60 s)", 30.0, 60.0),
+    ];
+    for (label, from, to) in windows {
+        t.row(vec![label.into(), fmt_ops(window(from, to))]);
+    }
+    b.table(t);
+    b.note(chart::time_chart(&pre));
+    b.artifact("fault_failover.svg", chart::svg_time_chart(&pre));
+
+    let before = window(2.0, 20.0);
+    let during = window(20.0, 25.0);
+    let after = window(30.0, 60.0);
+    b.metric_tol("healthy_ops", before, 1e-6);
+    b.metric_tol("takeover_ops", during, 1e-6);
+    b.metric_tol("standby_ops", after, 1e-6);
+    b.metric_exact("rpc_retries", retries as f64);
+    b.metric_exact("failovers", failovers as f64);
+
+    b.check(
+        "exactly_one_failover_event",
+        failovers == 1,
+        format!("{failovers} failovers attributed"),
+    );
+    b.check(
+        "every_stalled_client_retries",
+        retries >= 4,
+        format!("{retries} retries across 4 clients"),
+    );
+    b.check(
+        "takeover_stalls_service",
+        during < before * 0.3,
+        format!("{before} → {during} ops/s during takeover"),
+    );
+    b.check(
+        "standby_restores_service",
+        after > before * 0.7,
+        format!("{before} → {after} ops/s on the standby"),
+    );
+    b.summary(format!(
+        "ops/s {} → {} during the 4.5 s takeover, {} on the standby; {} retries, {} failover",
+        fmt_ops(before),
+        fmt_ops(during),
+        fmt_ops(after),
+        retries,
+        failovers
+    ));
+}

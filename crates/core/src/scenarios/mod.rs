@@ -20,6 +20,9 @@ mod exp_4_6_latency;
 mod exp_4_7_afs;
 mod exp_4_7_ontapgx;
 mod exp_4_8_writeback;
+mod exp_fault_afs_restart;
+mod exp_fault_degrade;
+mod exp_fault_failover;
 mod exp_fig_3_4;
 mod exp_fig_4_4;
 mod exp_fig_4_5;
@@ -38,8 +41,9 @@ const G_46: &str = "§4.6 — network latency";
 const G_47: &str = "§4.7 — namespace aggregation";
 const G_48: &str = "§4.8 — metadata write-back caching";
 const G_ABL: &str = "Design-choice ablations (beyond the paper's figures)";
+const G_FAULT: &str = "Fault injection & failure recovery (beyond the paper's healthy runs)";
 
-static REGISTRY: [Scenario; 20] = [
+static REGISTRY: [Scenario; 23] = [
     Scenario {
         id: "exp_tab_3_1",
         title: "Table 3.1 — weak vs strong scaling sizes",
@@ -259,6 +263,39 @@ static REGISTRY: [Scenario; 20] = [
         deterministic: true,
         cost_hint: 20,
         run: abl_wb_window::run,
+    },
+    Scenario {
+        id: "exp_fault_failover",
+        title: "Lustre MDS crash + standby failover",
+        group: G_FAULT,
+        paper_ref: "§4.1.2",
+        paper: "the paper's Lustre testbeds pair the MDS with a failover standby; the healthy runs never exercise it",
+        verdict: "**recovery shape holds** — service collapses for exactly the takeover window, standby restores it (checked)",
+        deterministic: true,
+        cost_hint: 60,
+        run: exp_fault_failover::run,
+    },
+    Scenario {
+        id: "exp_fault_degrade",
+        title: "NFS on a degraded / lossy network",
+        group: G_FAULT,
+        paper_ref: "§4.6",
+        paper: "synchronous RPCs track the link: ×F latency degradation must cost throughput monotonically; loss triggers soft-mount timeout/backoff",
+        verdict: "**monotone + recovery shape holds** (checked)",
+        deterministic: true,
+        cost_hint: 120,
+        run: exp_fault_degrade::run,
+    },
+    Scenario {
+        id: "exp_fault_afs_restart",
+        title: "AFS file-server restart → callback-break storm",
+        group: G_FAULT,
+        paper_ref: "§2.6.1/§4.7.3",
+        paper: "AFS callbacks are server state; a restarted server has lost them all, so every client re-validates at once",
+        verdict: "**storm + recovery shape holds** (checked)",
+        deterministic: true,
+        cost_hint: 40,
+        run: exp_fault_afs_restart::run,
     },
 ];
 

@@ -16,9 +16,11 @@ use crate::cache::{AttrCache, CallbackCache};
 use crate::costmodel::{apply_meta_op, ServiceCostModel};
 use crate::op::MetaOp;
 use crate::plan::{
-    ClientCtx, DistFs, FsResources, OpPlan, SemId, SemSpec, ServerId, ServerSpec, Stage,
+    ClientCtx, DistFs, FaultStats, FsResources, OpPlan, SemId, SemSpec, ServerId, ServerSpec, Stage,
 };
+use crate::recovery::{retry_backoff, RetryPolicy};
 use memfs::{FsError, FsResult, MemFs, MemFsConfig};
+use netsim::fault::FaultPlan;
 use netsim::{LinkSpec, RpcProfile};
 use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
@@ -55,6 +57,8 @@ pub struct AfsConfig {
     pub fs_config: MemFsConfig,
     /// Link jitter.
     pub jitter: f64,
+    /// Cache-manager RPC timeout/backoff tuning when a fault plan is active.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AfsConfig {
@@ -79,6 +83,7 @@ impl Default for AfsConfig {
             cached_stat_cpu: SimDuration::from_micros(6),
             fs_config: MemFsConfig::default(),
             jitter: 0.04,
+            retry: RetryPolicy::nfs_soft(),
         }
     }
 }
@@ -92,6 +97,11 @@ pub struct AfsFs {
     /// Cached VLDB answers per node: `vldb_cache[node]` knows these volumes.
     vldb_caches: Vec<AttrCache>,
     nodes: usize,
+    faults: Option<FaultPlan>,
+    /// Restart events (ordered by restart instant) already turned into a
+    /// callback-break storm.
+    restarts_handled: usize,
+    callback_breaks: u64,
 }
 
 /// Server index of the VLDB server.
@@ -111,7 +121,24 @@ impl AfsFs {
             callback_caches: Vec::new(),
             vldb_caches: Vec::new(),
             nodes: 0,
+            faults: None,
+            restarts_handled: 0,
+            callback_breaks: 0,
         }
+    }
+
+    /// Attach a fault plan. A crashed file server makes the cache manager
+    /// retry with backoff; when the server restarts it has lost its callback
+    /// state, so **every** outstanding callback on every node breaks at once
+    /// (the restart storm of real AFS cells) and subsequent reads must
+    /// refetch.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Callbacks broken by server-restart storms so far.
+    pub fn callback_breaks(&self) -> u64 {
+        self.callback_breaks
     }
 
     /// The model with default tuning.
@@ -218,6 +245,24 @@ impl DistFs for AfsFs {
         now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
+        // Server restarts completed by `now` have lost their callback state:
+        // every outstanding callback breaks at once (the restart storm),
+        // before any cache lookup below may answer locally.
+        if let Some(faults) = self.faults.as_ref() {
+            let restarts = faults.restarts();
+            while self.restarts_handled < restarts.len()
+                && restarts[self.restarts_handled].restart <= now
+            {
+                self.restarts_handled += 1;
+                let mut broken = 0u64;
+                for cache in &mut self.callback_caches {
+                    broken += cache.len() as u64;
+                    cache.clear();
+                }
+                self.callback_breaks += broken;
+                telemetry::count("afs.callback_break", broken);
+            }
+        }
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.callback_caches[client.node].lookup(path) =>
@@ -247,40 +292,56 @@ impl DistFs for AfsFs {
         let link = self.config.link.with_jitter(self.config.jitter);
         let profile = RpcProfile::metadata();
         let sem = self.cache_mgr_sem(client.node);
+        // A crashed file server: the cache manager times out and retries
+        // with backoff while holding its slot (the whole node stalls).
+        let mut fstats = FaultStats::default();
+        let mut retry_stages = Vec::new();
+        if let Some(faults) = self.faults.as_mut() {
+            let (stages, stats) = retry_backoff(faults, Some(server.0), now, self.config.retry);
+            retry_stages = stages;
+            fstats = stats;
+            if faults.degradation(now + fstats.stall).is_some() {
+                fstats.injected += 1;
+            }
+        }
+        let send_at = now + fstats.stall;
+        let faults = self.faults.as_ref();
         let mut stages = vec![
             Stage::AcquireSem { sem },
             Stage::ClientCpu {
                 demand: self.config.client_cpu,
             },
         ];
+        stages.extend(retry_stages);
         // first touch of a volume from this node: VLDB round trip
         let vol_key = format!("vldb:{volume}");
         if !self.vldb_caches[client.node].lookup(&vol_key, now) {
             telemetry::count("afs.vldb_lookup", 1);
             stages.push(Stage::NetDelay {
-                delay: link.one_way(profile.request_bytes, rng),
+                delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
             });
             stages.push(Stage::Server {
                 server: AFS_VLDB,
                 demand: self.config.vldb_demand,
             });
             stages.push(Stage::NetDelay {
-                delay: link.one_way(profile.response_bytes, rng),
+                delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
             });
             self.vldb_caches[client.node].fill(&vol_key, now);
         }
         stages.push(Stage::NetDelay {
-            delay: link.one_way(profile.request_bytes, rng),
+            delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
         });
         telemetry::count("afs.rpc", 1);
         stages.push(Stage::Server { server, demand });
         stages.push(Stage::NetDelay {
-            delay: link.one_way(profile.response_bytes, rng),
+            delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
         });
         stages.push(Stage::ReleaseSem { sem });
         self.callback_caches[client.node].fill(op.primary_path());
         Ok(OpPlan {
             stages,
+            faults: fstats,
             ..Default::default()
         })
     }
@@ -375,6 +436,69 @@ mod tests {
                 .is_client_only(),
             "callbacks do not expire with time"
         );
+    }
+
+    #[test]
+    fn server_restart_breaks_all_callbacks_at_once() {
+        use netsim::fault::FaultSpec;
+        let mut m = AfsFs::with_defaults();
+        m.register_clients(2);
+        // vol1 lives on file server 1 → ServerId(2)
+        m.set_faults(FaultSpec::parse("crash:2@10s+2s").unwrap().build());
+        let mut rng = DetRng::new(1);
+        let stat = MetaOp::Stat {
+            path: "/vol1/f".into(),
+        };
+        for node in 0..2 {
+            m.plan(
+                ClientCtx { node, proc: 0 },
+                &create_op(&format!("/vol1/n{node}")),
+                SimTime::from_secs(1),
+                &mut rng,
+            )
+            .unwrap();
+            m.plan(
+                ClientCtx { node, proc: 0 },
+                &create_op("/vol1/f").clone(),
+                SimTime::from_secs(1),
+                &mut rng,
+            )
+            .unwrap_or_else(|_| OpPlan::default()); // second node: Exists is fine
+        }
+        assert!(m
+            .plan(
+                ClientCtx { node: 0, proc: 0 },
+                &stat,
+                SimTime::from_secs(5),
+                &mut rng
+            )
+            .unwrap()
+            .is_client_only());
+        // while the server is down, the cache manager retries with backoff
+        let during = m
+            .plan(
+                ClientCtx { node: 0, proc: 0 },
+                &create_op("/vol1/g"),
+                SimTime::from_secs(10),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(during.faults.retries >= 1);
+        assert!(during.faults.stall >= SimDuration::from_secs(2));
+        // after the restart every callback is gone: stats must refetch
+        let refetch = m
+            .plan(
+                ClientCtx { node: 0, proc: 0 },
+                &stat,
+                SimTime::from_secs(13),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            !refetch.is_client_only(),
+            "restart storm broke the callback"
+        );
+        assert!(m.callback_breaks() > 0);
     }
 
     #[test]

@@ -62,9 +62,17 @@ impl AttrCache {
     }
 
     /// Check (and account) whether `path` can be answered locally at `now`.
+    ///
+    /// An expired entry is evicted on the spot: without this, long runs over
+    /// churning namespaces grow the map without bound (every dead path stays
+    /// resident forever).
     pub fn lookup(&mut self, path: &str, now: SimTime) -> bool {
         let hit = match self.entries.get(path) {
-            Some(&expires) => now < expires,
+            Some(&expires) if now < expires => true,
+            Some(_) => {
+                self.entries.remove(path);
+                false
+            }
             None => false,
         };
         if hit {
@@ -89,7 +97,8 @@ impl AttrCache {
         self.entries.clear();
     }
 
-    /// Number of live entries (including expired ones not yet purged).
+    /// Number of resident entries (expired entries linger only until the
+    /// next lookup touches them).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -149,6 +158,16 @@ impl CallbackCache {
         self.entries.clear();
     }
 
+    /// Number of entries holding a callback.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Accounting.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -192,6 +211,31 @@ mod tests {
         }
         c.lookup("/missing", SimTime::from_secs(1));
         assert!((c.stats().hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    /// Regression: expired entries must be purged when a lookup sees them,
+    /// so a churning namespace (fresh paths every round, old ones never
+    /// touched again while live) cannot grow the map past the live set.
+    #[test]
+    fn expired_entries_are_evicted_on_lookup() {
+        let mut c = AttrCache::new(SimDuration::from_secs(1));
+        for round in 0..10u64 {
+            let t = SimTime::from_secs(round * 10);
+            for i in 0..100 {
+                c.fill(&format!("/r{round}/f{i}"), t);
+            }
+            assert!(
+                c.len() <= 100,
+                "round {round}: {} entries resident",
+                c.len()
+            );
+            // by +5 s everything from this round has expired; each miss evicts
+            for i in 0..100 {
+                assert!(!c.lookup(&format!("/r{round}/f{i}"), t + SimDuration::from_secs(5)));
+            }
+        }
+        assert!(c.is_empty(), "{} stale entries leaked", c.len());
+        assert_eq!(c.stats().misses, 1000);
     }
 
     #[test]

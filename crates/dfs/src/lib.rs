@@ -52,6 +52,7 @@ mod ontapgx;
 mod op;
 mod plan;
 mod pvfs;
+mod recovery;
 
 pub use afs::{AfsConfig, AfsFs, AfsVolume, AFS_VLDB};
 pub use cache::{AttrCache, CacheStats, CallbackCache};
@@ -63,7 +64,8 @@ pub use nfs::{NfsConfig, NfsFs, NFS_SERVER};
 pub use ontapgx::{OntapGxConfig, OntapGxFs, VolumeSpec};
 pub use op::MetaOp;
 pub use plan::{
-    BackgroundJob, ClientCtx, DistFs, FsResources, OpPlan, SemId, SemSpec, ServerId, ServerSpec,
-    Stage, TimerAction,
+    BackgroundJob, ClientCtx, DistFs, FaultStats, FsResources, OpPlan, SemId, SemSpec, ServerId,
+    ServerSpec, Stage, TimerAction,
 };
 pub use pvfs::{PvfsConfig, PvfsFs, PVFS_MDS};
+pub use recovery::RetryPolicy;

@@ -23,10 +23,11 @@ use crate::cache::CallbackCache;
 use crate::costmodel::{apply_meta_op, ServiceCostModel};
 use crate::op::MetaOp;
 use crate::plan::{
-    BackgroundJob, ClientCtx, DistFs, FsResources, OpPlan, SemId, SemSpec, ServerId, ServerSpec,
-    Stage,
+    BackgroundJob, ClientCtx, DistFs, FaultStats, FsResources, OpPlan, SemId, SemSpec, ServerId,
+    ServerSpec, Stage,
 };
 use memfs::{FsResult, MemFs, MemFsConfig};
+use netsim::fault::FaultPlan;
 use netsim::{LinkSpec, RpcProfile};
 use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
@@ -59,6 +60,11 @@ pub struct LustreConfig {
     pub fs_config: MemFsConfig,
     /// Link jitter.
     pub jitter: f64,
+    /// Time for clients to declare the active MDS dead after a crash.
+    pub failover_detect: SimDuration,
+    /// Recovery replay on the standby MDS before it admits new requests
+    /// (clients resend their uncommitted operations first).
+    pub failover_replay: SimDuration,
 }
 
 impl Default for LustreConfig {
@@ -79,6 +85,8 @@ impl Default for LustreConfig {
             precreate_demand: SimDuration::from_micros(400),
             fs_config: MemFsConfig::default(),
             jitter: 0.04,
+            failover_detect: SimDuration::from_millis(1500),
+            failover_replay: SimDuration::from_secs(3),
         }
     }
 }
@@ -92,6 +100,11 @@ pub struct LustreFs {
     nodes: usize,
     creates_seen: u64,
     next_oss: usize,
+    faults: Option<FaultPlan>,
+    /// Crash events (by index in the plan) whose failover was already
+    /// attributed to an operation.
+    failovers_handled: usize,
+    failovers: u64,
 }
 
 /// Server index of the MDS.
@@ -110,7 +123,25 @@ impl LustreFs {
             nodes: 0,
             creates_seen: 0,
             next_oss: 0,
+            faults: None,
+            failovers_handled: 0,
+            failovers: 0,
         }
+    }
+
+    /// Attach a fault plan. A `crash:0@T+D` clause crashes the **active
+    /// MDS**: operations planned between the crash and the end of standby
+    /// recovery (`T + failover_detect + failover_replay`) stall until the
+    /// standby has replayed the journal; the first such operation accounts
+    /// the failover event. The primary's own restart is irrelevant — the
+    /// standby keeps serving (Lustre active/standby MDS pairs).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// MDS failover events observed so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
     }
 
     /// The model with default tuning.
@@ -200,7 +231,7 @@ impl DistFs for LustreFs {
         &mut self,
         client: ClientCtx,
         op: &MetaOp,
-        _now: SimTime,
+        now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
         // lock-cached reads are local
@@ -216,9 +247,34 @@ impl DistFs for LustreFs {
             }
             _ => {}
         }
+        // MDS failover: an RPC issued between the crash and the end of
+        // standby recovery times out, reconnects and waits for journal
+        // replay to finish before it is serviced.
+        let mut fstats = FaultStats::default();
+        if let Some(faults) = self.faults.as_ref() {
+            if let Some((idx, crash)) = faults.last_crash_at_or_before(LUSTRE_MDS.0, now) {
+                let takeover = crash.at + self.config.failover_detect + self.config.failover_replay;
+                if now < takeover {
+                    fstats.injected += 1;
+                    fstats.retries += 1;
+                    fstats.stall = takeover.since(now);
+                    if idx >= self.failovers_handled {
+                        self.failovers_handled = idx + 1;
+                        self.failovers += 1;
+                        fstats.failovers = 1;
+                        telemetry::count("lustre.failover", 1);
+                    }
+                }
+            }
+            if faults.degradation(now + fstats.stall).is_some() {
+                fstats.injected += 1;
+            }
+        }
+        let send_at = now + fstats.stall;
         let cost = apply_meta_op(&mut self.mds_fs, op)?;
         let demand = self.config.cost.demand(cost);
         let link = self.config.link.with_jitter(self.config.jitter);
+        let faults = self.faults.as_ref();
         let profile = match op {
             MetaOp::Readdir { .. } => RpcProfile::readdir(cost.dir_probes),
             _ => RpcProfile::metadata(),
@@ -245,6 +301,15 @@ impl DistFs for LustreFs {
                 sem: self.modify_sem(client.node),
             });
         }
+        // The failover stall sits after the semaphore acquires: the client
+        // holds its window slot and modify slot while its RPC times out and
+        // reconnects, and the commit background job scheduled at plan time
+        // must never release a slot this op has not acquired yet.
+        if !fstats.stall.is_zero() {
+            stages.push(Stage::NetDelay {
+                delay: fstats.stall,
+            });
+        }
         stages.push(Stage::ClientCpu {
             demand: self.config.client_cpu,
         });
@@ -252,14 +317,14 @@ impl DistFs for LustreFs {
             // LDLM intent-lock enqueue round trip preceding the modifying
             // RPC (Lustre 1.6 metadata path)
             stages.push(Stage::NetDelay {
-                delay: link.one_way(64, rng),
+                delay: link.one_way_at(64, send_at, faults, rng),
             });
             stages.push(Stage::NetDelay {
-                delay: link.one_way(64, rng),
+                delay: link.one_way_at(64, send_at, faults, rng),
             });
         }
         stages.push(Stage::NetDelay {
-            delay: link.one_way(profile.request_bytes, rng),
+            delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
         });
         telemetry::count("lustre.rpc", 1);
         stages.push(Stage::Server {
@@ -267,7 +332,7 @@ impl DistFs for LustreFs {
             demand,
         });
         stages.push(Stage::NetDelay {
-            delay: link.one_way(profile.response_bytes, rng),
+            delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
         });
         if op.is_mutation() {
             stages.push(Stage::ReleaseSem {
@@ -296,7 +361,8 @@ impl DistFs for LustreFs {
         Ok(OpPlan {
             stages,
             background,
-            pauses: Vec::new(),
+            faults: fstats,
+            ..Default::default()
         })
     }
 
@@ -427,6 +493,35 @@ mod tests {
                 .any(|s| matches!(s, Stage::AcquireSem { .. })),
             "read path is lock-free"
         );
+    }
+
+    #[test]
+    fn mds_crash_stalls_ops_until_standby_recovers() {
+        use netsim::fault::FaultSpec;
+        let mut m = model();
+        m.set_faults(FaultSpec::parse("crash:0@20s+5s").unwrap().build());
+        let mut rng = DetRng::new(1);
+        let before = m
+            .plan(ctx(0), &create_op("/w/a"), SimTime::from_secs(10), &mut rng)
+            .unwrap();
+        assert_eq!(before.faults, FaultStats::default());
+        // planned 1 s into the outage: stall to 20 + 1.5 + 3.0 = 24.5 s
+        let during = m
+            .plan(ctx(0), &create_op("/w/b"), SimTime::from_secs(21), &mut rng)
+            .unwrap();
+        assert_eq!(during.faults.failovers, 1, "first observer accounts it");
+        assert_eq!(during.faults.retries, 1);
+        assert_eq!(during.faults.stall, SimDuration::from_millis(3500));
+        let later = m
+            .plan(ctx(1), &create_op("/w/c"), SimTime::from_secs(22), &mut rng)
+            .unwrap();
+        assert_eq!(later.faults.failovers, 0, "failover already attributed");
+        assert_eq!(later.faults.retries, 1);
+        let after = m
+            .plan(ctx(0), &create_op("/w/d"), SimTime::from_secs(30), &mut rng)
+            .unwrap();
+        assert_eq!(after.faults, FaultStats::default(), "standby is serving");
+        assert_eq!(m.failovers(), 1);
     }
 
     #[test]

@@ -19,9 +19,11 @@ use crate::cache::AttrCache;
 use crate::costmodel::{apply_meta_op, ServiceCostModel};
 use crate::op::MetaOp;
 use crate::plan::{
-    ClientCtx, DistFs, FsResources, OpPlan, ServerId, ServerSpec, Stage, TimerAction,
+    ClientCtx, DistFs, FaultStats, FsResources, OpPlan, ServerId, ServerSpec, Stage, TimerAction,
 };
+use crate::recovery::{retry_backoff, RetryPolicy};
 use memfs::{FsResult, MemFs, MemFsConfig};
+use netsim::fault::FaultPlan;
 use netsim::{LinkSpec, RpcProfile};
 use simcore::{telemetry, DetRng, SimDuration, SimTime};
 
@@ -54,6 +56,8 @@ pub struct NfsConfig {
     pub fs_config: MemFsConfig,
     /// Latency jitter on the link.
     pub jitter: f64,
+    /// RPC timeout/backoff tuning when a fault plan is active.
+    pub retry: RetryPolicy,
 }
 
 impl Default for NfsConfig {
@@ -75,6 +79,7 @@ impl Default for NfsConfig {
             nvram_bytes_per_op: 256,
             fs_config: MemFsConfig::default(),
             jitter: 0.04,
+            retry: RetryPolicy::nfs_soft(),
         }
     }
 }
@@ -88,6 +93,7 @@ pub struct NfsFs {
     dirty_bytes: u64,
     consistency_points: u64,
     snapshots_taken: u64,
+    faults: Option<FaultPlan>,
 }
 
 /// The single server resource of this model.
@@ -104,7 +110,16 @@ impl NfsFs {
             dirty_bytes: 0,
             consistency_points: 0,
             snapshots_taken: 0,
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan: RPCs then suffer link-down / loss / degradation
+    /// windows and recover with timeout + exponential-backoff retransmits
+    /// (soft-mount style — after `retry.max_retries` the client sends
+    /// anyway). Without a plan the model is bit-identical to before.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// The model with default tuning.
@@ -149,22 +164,29 @@ impl NfsFs {
         self.config.cp_min_pause + self.config.cp_pause_per_mib.mul_f64(mib)
     }
 
-    fn rpc_plan(&self, demand: SimDuration, profile: RpcProfile, rng: &mut DetRng) -> OpPlan {
+    fn rpc_plan(
+        &self,
+        demand: SimDuration,
+        profile: RpcProfile,
+        send_at: SimTime,
+        rng: &mut DetRng,
+    ) -> OpPlan {
         let link = self.config.link.with_jitter(self.config.jitter);
+        let faults = self.faults.as_ref();
         OpPlan {
             stages: vec![
                 Stage::ClientCpu {
                     demand: self.config.client_cpu,
                 },
                 Stage::NetDelay {
-                    delay: link.one_way(profile.request_bytes, rng),
+                    delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
                 },
                 Stage::Server {
                     server: NFS_SERVER,
                     demand,
                 },
                 Stage::NetDelay {
-                    delay: link.one_way(profile.response_bytes, rng),
+                    delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
                 },
             ],
             ..Default::default()
@@ -218,7 +240,25 @@ impl DistFs for NfsFs {
             MetaOp::Readdir { .. } => RpcProfile::readdir(cost.dir_probes),
             _ => RpcProfile::metadata(),
         };
-        let mut plan = self.rpc_plan(demand, profile, rng);
+        // Faults: time out + retransmit with backoff until an attempt gets
+        // through (or the soft mount gives up and sends anyway).
+        let mut fstats = FaultStats::default();
+        let mut retry_stages = Vec::new();
+        if let Some(faults) = self.faults.as_mut() {
+            let (stages, stats) = retry_backoff(faults, Some(NFS_SERVER.0), now, self.config.retry);
+            retry_stages = stages;
+            fstats = stats;
+            if faults.degradation(now + fstats.stall).is_some() {
+                fstats.injected += 1;
+            }
+        }
+        let send_at = now + fstats.stall;
+        let mut plan = self.rpc_plan(demand, profile, send_at, rng);
+        if !retry_stages.is_empty() {
+            retry_stages.append(&mut plan.stages);
+            plan.stages = retry_stages;
+        }
+        plan.faults = fstats;
         telemetry::count("nfs.rpc", 1);
         if op.is_mutation() {
             let data = if let MetaOp::Create { data_bytes, .. } = op {
@@ -452,6 +492,51 @@ mod tests {
         assert_eq!(server, NFS_SERVER);
         assert!(pause >= SimDuration::from_millis(40));
         assert_eq!(fs.server_fs().snapshot_names().count(), 1);
+    }
+
+    #[test]
+    fn link_down_window_forces_backoff_retries() {
+        use netsim::fault::FaultSpec;
+        let mut fs = NfsFs::with_defaults();
+        fs.register_clients(1);
+        fs.set_faults(FaultSpec::parse("down@10s..11s").unwrap().build());
+        let mut rng = DetRng::new(1);
+        let healthy = fs
+            .plan(ctx(0), &create_op("/w/a"), SimTime::from_secs(5), &mut rng)
+            .unwrap();
+        assert_eq!(healthy.faults, FaultStats::default(), "outside the window");
+        let faulted = fs
+            .plan(ctx(0), &create_op("/w/b"), SimTime::from_secs(10), &mut rng)
+            .unwrap();
+        assert_eq!(
+            faulted.faults.retries, 2,
+            "0.7 s + 1.4 s clears the 1 s outage"
+        );
+        assert!(faulted.faults.stall >= SimDuration::from_secs(1));
+        assert_eq!(faulted.stages.len(), healthy.stages.len() + 2);
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        use netsim::fault::FaultSpec;
+        let mut rng_a = DetRng::new(9);
+        let mut rng_b = DetRng::new(9);
+        let mut plain = NfsFs::with_defaults();
+        plain.register_clients(1);
+        let mut faulted = NfsFs::with_defaults();
+        faulted.register_clients(1);
+        faulted.set_faults(
+            FaultSpec::parse("down@100s..110s,loss@200s..201s:0.5")
+                .unwrap()
+                .build(),
+        );
+        for i in 0..50 {
+            let op = create_op(&format!("/w/f{i}"));
+            let t = SimTime::from_millis(i * 10);
+            let a = plain.plan(ctx(0), &op, t, &mut rng_a).unwrap();
+            let b = faulted.plan(ctx(0), &op, t, &mut rng_b).unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "op {i}");
+        }
     }
 
     #[test]

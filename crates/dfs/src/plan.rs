@@ -84,6 +84,22 @@ pub struct BackgroundJob {
     pub label: Option<&'static str>,
 }
 
+/// Fault-recovery accounting attached to one compiled operation. All zero
+/// unless a fault plan is active and a fault actually touched the plan, so
+/// fault-free runs carry no cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Fault effects that shaped this plan (degraded sends, lost attempts,
+    /// failover stalls).
+    pub injected: u32,
+    /// Timed-out RPC attempts that were retransmitted.
+    pub retries: u32,
+    /// Failover events this operation was the first to observe.
+    pub failovers: u32,
+    /// Total virtual time the plan spends stalled on fault recovery.
+    pub stall: SimDuration,
+}
+
 /// A compiled operation.
 #[derive(Debug, Clone, Default)]
 pub struct OpPlan {
@@ -94,6 +110,8 @@ pub struct OpPlan {
     /// Servers to pause (consistency points triggered by this operation,
     /// e.g. NVRAM reaching its high-water mark).
     pub pauses: Vec<(ServerId, SimDuration)>,
+    /// Fault-recovery accounting (retries, failovers, stall time).
+    pub faults: FaultStats,
 }
 
 impl OpPlan {

@@ -1,0 +1,131 @@
+//! Shared client-side failure-recovery machinery.
+//!
+//! Real clients survive faults with a timeout → retransmit → backoff loop
+//! (NFS `timeo`/`retrans`, AFS cache-manager retries). The models compile
+//! that loop into the [`OpPlan`](crate::OpPlan) at plan time: each lost
+//! attempt becomes a `NetDelay` stall equal to the timeout that expired,
+//! and the accounting rides along in [`FaultStats`](crate::plan::FaultStats)
+//! so the engine can attribute retries per worker.
+
+use crate::plan::{FaultStats, Stage};
+use netsim::fault::FaultPlan;
+use simcore::{SimDuration, SimTime};
+
+/// Retry tuning of a client RPC path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Initial RPC timeout before the first retransmit.
+    pub timeout: SimDuration,
+    /// Timeout multiplier per retry (exponential backoff).
+    pub backoff: f64,
+    /// Upper bound on the per-attempt timeout.
+    pub max_timeout: SimDuration,
+    /// Stop retrying (send anyway, soft-mount style) after this many
+    /// retransmits.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// NFS-style soft-mount defaults: `timeo` 700 ms, doubling per major
+    /// timeout, capped at 60 s.
+    pub fn nfs_soft() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_millis(700),
+            backoff: 2.0,
+            max_timeout: SimDuration::from_secs(60),
+            max_retries: 10,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::nfs_soft()
+    }
+}
+
+/// Walk the fault plan forward from `now`: while the RPC attempt would be
+/// lost (link down, `server` crashed, or a loss-window draw), charge one
+/// timeout as a `NetDelay` stall and retry with exponential backoff.
+/// Returns the stall stages to prepend plus the accounting.
+///
+/// Makes **zero** RNG draws when no loss window covers an attempt, so an
+/// inert plan cannot perturb the simulation.
+pub fn retry_backoff(
+    faults: &mut FaultPlan,
+    server: Option<usize>,
+    now: SimTime,
+    policy: RetryPolicy,
+) -> (Vec<Stage>, FaultStats) {
+    let mut stats = FaultStats::default();
+    let mut stages = Vec::new();
+    let mut attempt_at = now;
+    let mut timeout = policy.timeout;
+    loop {
+        let lost = faults.link_down(attempt_at)
+            || server.is_some_and(|s| faults.server_down(s, attempt_at).is_some())
+            || faults.rpc_lost(attempt_at);
+        if !lost || stats.retries >= policy.max_retries {
+            break;
+        }
+        stats.retries += 1;
+        stats.injected += 1;
+        stages.push(Stage::NetDelay { delay: timeout });
+        attempt_at += timeout;
+        timeout = timeout.mul_f64(policy.backoff).min(policy.max_timeout);
+    }
+    stats.stall = attempt_at.since(now);
+    (stages, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::fault::FaultSpec;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn healthy_path_is_free() {
+        let mut plan = FaultSpec::parse("down@100s..110s").unwrap().build();
+        let (stages, stats) = retry_backoff(&mut plan, Some(0), t(1), RetryPolicy::nfs_soft());
+        assert!(stages.is_empty());
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn link_down_retries_until_window_passes() {
+        let mut plan = FaultSpec::parse("down@10s..11s").unwrap().build();
+        let (stages, stats) = retry_backoff(&mut plan, None, t(10), RetryPolicy::nfs_soft());
+        // 0.7 s timeout, then 1.4 s: second attempt at 2.1 s > 1 s outage
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.stall, SimDuration::from_millis(2100));
+    }
+
+    #[test]
+    fn server_crash_stalls_until_restart() {
+        let mut plan = FaultSpec::parse("crash:3@10s+2s").unwrap().build();
+        let (_, other) = retry_backoff(&mut plan, Some(1), t(10), RetryPolicy::nfs_soft());
+        assert_eq!(other.retries, 0, "other servers are unaffected");
+        let (stages, stats) = retry_backoff(&mut plan, Some(3), t(10), RetryPolicy::nfs_soft());
+        assert!(!stages.is_empty());
+        assert!(stats.stall >= SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let mut plan = FaultSpec::parse("down@0s..1000s").unwrap().build();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            ..RetryPolicy::nfs_soft()
+        };
+        let (stages, stats) = retry_backoff(&mut plan, None, t(0), policy);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stats.retries, 3);
+        // 0.7 + 1.4 + 2.8 s of backoff, then the soft mount sends anyway
+        assert_eq!(stats.stall, SimDuration::from_millis(4900));
+    }
+}

@@ -28,8 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+
+use fault::FaultPlan;
 use serde::{Deserialize, Serialize};
-use simcore::{DetRng, SimDuration};
+use simcore::{DetRng, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// A network party. Returned by [`Topology::add_endpoint`].
@@ -121,6 +124,33 @@ impl LinkSpec {
         };
         latency + transmit
     }
+
+    /// This link with a degradation applied: latency multiplied, bandwidth
+    /// divided (jitter untouched — it is relative).
+    pub fn degraded(&self, d: fault::Degradation) -> LinkSpec {
+        LinkSpec {
+            latency: self.latency.mul_f64(d.latency_factor),
+            bandwidth_bps: ((self.bandwidth_bps as f64 / d.bandwidth_factor).round() as u64).max(1),
+            jitter: self.jitter,
+        }
+    }
+
+    /// Fault-aware [`LinkSpec::one_way`]: consult `faults` for a degradation
+    /// window covering `now`. With no plan, or no window active, this is
+    /// **exactly** `one_way` — same cost, same telemetry, same RNG draws —
+    /// so fault-free runs stay bit-identical.
+    pub fn one_way_at(
+        &self,
+        payload: u64,
+        now: SimTime,
+        faults: Option<&FaultPlan>,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        match faults.and_then(|f| f.degradation(now)) {
+            Some(d) => self.degraded(d).one_way(payload, rng),
+            None => self.one_way(payload, rng),
+        }
+    }
 }
 
 /// Request/response payload sizes of one RPC (bytes on the wire).
@@ -170,6 +200,7 @@ pub struct Topology {
     default_link: LinkSpec,
     names: Vec<String>,
     links: HashMap<(Endpoint, Endpoint), LinkSpec>,
+    faults: Option<FaultPlan>,
 }
 
 impl Topology {
@@ -179,7 +210,18 @@ impl Topology {
             default_link,
             names: Vec::new(),
             links: HashMap::new(),
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan; the `*_at` query methods consult it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Register an endpoint.
@@ -249,6 +291,35 @@ impl Topology {
         rng: &mut DetRng,
     ) -> SimDuration {
         self.rtt(a, b, profile.request_bytes, profile.response_bytes, rng)
+    }
+
+    /// Fault-aware [`Topology::one_way`] (consults the attached plan).
+    pub fn one_way_at(
+        &self,
+        a: Endpoint,
+        b: Endpoint,
+        payload: u64,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        self.link(a, b)
+            .one_way_at(payload, now, self.faults.as_ref(), rng)
+    }
+
+    /// Fault-aware [`Topology::rtt`] (consults the attached plan).
+    pub fn rtt_at(
+        &self,
+        a: Endpoint,
+        b: Endpoint,
+        request_bytes: u64,
+        response_bytes: u64,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        let link = self.link(a, b);
+        let faults = self.faults.as_ref();
+        link.one_way_at(request_bytes, now, faults, rng)
+            + link.one_way_at(response_bytes, now, faults, rng)
     }
 }
 
@@ -330,6 +401,55 @@ mod tests {
         assert!(big.response_bytes > small.response_bytes * 100);
         let with_data = RpcProfile::metadata_with_data(64);
         assert_eq!(with_data.request_bytes, 192);
+    }
+
+    #[test]
+    fn one_way_at_matches_one_way_outside_fault_windows() {
+        use simcore::SimTime;
+        let plan = fault::FaultSpec::parse("degrade@10s..20s:4x")
+            .unwrap()
+            .build();
+        let link = LinkSpec::lan().with_jitter(0.1);
+        let mut r1 = DetRng::new(3);
+        let mut r2 = DetRng::new(3);
+        for i in 0..50u64 {
+            let now = SimTime::from_millis(i * 100); // all before 10 s
+            assert_eq!(
+                link.one_way_at(128, now, Some(&plan), &mut r1),
+                link.one_way(128, &mut r2),
+                "outside the window the fault path must be inert"
+            );
+        }
+    }
+
+    #[test]
+    fn degradation_window_slows_the_link() {
+        use simcore::SimTime;
+        let plan = fault::FaultSpec::parse("degrade@10s..20s:4x")
+            .unwrap()
+            .build();
+        let link = LinkSpec::lan();
+        let healthy = link.one_way_at(1_000_000, SimTime::from_secs(5), Some(&plan), &mut rng());
+        let degraded = link.one_way_at(1_000_000, SimTime::from_secs(15), Some(&plan), &mut rng());
+        // latency ×4 and bandwidth ÷4 ⇒ exactly 4× for a deterministic link
+        assert_eq!(degraded, healthy.mul_f64(4.0));
+    }
+
+    #[test]
+    fn topology_consults_attached_fault_plan() {
+        use simcore::SimTime;
+        let mut t = Topology::new(LinkSpec::lan());
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        let before = t.rtt_at(a, b, 128, 128, SimTime::from_secs(1), &mut rng());
+        t.set_fault_plan(
+            fault::FaultSpec::parse("degrade@0s..60s:2x")
+                .unwrap()
+                .build(),
+        );
+        let after = t.rtt_at(a, b, 128, 128, SimTime::from_secs(1), &mut rng());
+        assert!(after > before);
+        assert!(t.fault_plan().is_some());
     }
 
     #[test]

@@ -19,13 +19,19 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_stddev(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -190,7 +196,9 @@ impl LatencyHistogram {
     }
 
     fn bucket_of(ns: u64) -> usize {
-        (64 - ns.leading_zeros()) as usize % 64
+        // 0 has 64 leading zeros (bucket 0); values ≥ 2^63 have none and
+        // must clamp into the top bucket, not wrap back to bucket 0.
+        ((64 - ns.leading_zeros()) as usize).min(63)
     }
 
     /// Record one latency.
@@ -394,6 +402,38 @@ mod tests {
             assert!((m.population_variance() - seq.population_variance()).abs() < 1e-9);
             assert_eq!(m.min(), seq.min());
             assert_eq!(m.max(), seq.max());
+        }
+    }
+
+    /// Regression: `Default` must match `new()` — a derived `Default` gave
+    /// `min: 0.0 / max: 0.0`, so a default-constructed accumulator reported
+    /// min 0 for all-positive samples.
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(OnlineStats::default(), OnlineStats::new());
+        let mut s = OnlineStats::default();
+        s.push(5.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    /// Regression: latencies ≥ 2^63 ns used to wrap to bucket 0 via `% 64`,
+    /// corrupting percentiles. Every boundary value must land in a bucket
+    /// whose upper bound covers it.
+    #[test]
+    fn histogram_bucket_boundaries_do_not_wrap() {
+        use crate::SimDuration;
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of((1u64 << 63) - 1), 63);
+        assert_eq!(LatencyHistogram::bucket_of(1u64 << 63), 63);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        for ns in [0u64, 1, (1u64 << 63) - 1, 1u64 << 63, u64::MAX] {
+            let mut h = LatencyHistogram::new();
+            h.push(SimDuration::from_nanos(ns));
+            assert_eq!(h.count(), 1);
+            // a single observation: its bucket's upper bound clamps to max_ns
+            assert_eq!(h.percentile(1.0), SimDuration::from_nanos(ns), "{ns} ns");
         }
     }
 

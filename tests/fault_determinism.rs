@@ -1,0 +1,87 @@
+//! Fault injection must not cost determinism — in either direction.
+//!
+//! * **Faults on**: each `exp_fault_*` scenario produces a bit-identical
+//!   ShapeReport whether it runs solo or inside the parallel suite, for
+//!   several claim orders and worker counts. Retries, failovers and
+//!   callback-break storms are all scheduled on virtual time and drawn
+//!   from per-plan seeded streams, so OS-thread scheduling must never
+//!   leak into a faulted report.
+//! * **Faults off**: attaching a fault plan whose windows never cover the
+//!   run leaves a simulation bit-identical to one with no plan attached —
+//!   an inert plan makes zero RNG draws and injects zero stalls.
+
+use cluster::SimConfig;
+use dfs::NfsFs;
+use dmetabench::suite::{self, run_makefiles, Scenario};
+use netsim::fault::FaultSpec;
+use simcore::SimDuration;
+
+const FAULT_IDS: [&str; 3] = [
+    "exp_fault_failover",
+    "exp_fault_degrade",
+    "exp_fault_afs_restart",
+];
+
+fn fault_scenarios() -> Vec<&'static Scenario> {
+    FAULT_IDS
+        .iter()
+        .map(|id| suite::find(id).expect("registered"))
+        .collect()
+}
+
+#[test]
+fn faulted_reports_are_identical_across_schedules() {
+    let scenarios = fault_scenarios();
+    let solo: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            let out = suite::run_scenario(s)
+                .outcome
+                .expect("fault scenario does not panic");
+            serde_json::to_string_pretty(&out.report).expect("serializable")
+        })
+        .collect();
+    for order in [[0usize, 1, 2], [2, 0, 1]] {
+        for jobs in [1usize, 4, 8] {
+            let run = suite::run_suite_ordered(&scenarios, jobs, &order);
+            for (result, solo) in run.results.iter().zip(&solo) {
+                let report = &result.outcome.as_ref().expect("no panic").report;
+                let json = serde_json::to_string_pretty(report).expect("serializable");
+                assert_eq!(
+                    &json, solo,
+                    "scenario {} differs between solo and parallel (order {order:?}, jobs {jobs})",
+                    result.scenario.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inert_fault_plan_leaves_runs_bit_identical() {
+    let mut cfg = SimConfig::default();
+    cfg.duration = Some(SimDuration::from_secs(5));
+    cfg.node_cores = 1;
+
+    let mut clean_model = NfsFs::with_defaults();
+    let clean = run_makefiles(&mut clean_model, 2, 2, &cfg);
+
+    // Every clause sits far beyond the 5 s horizon: the plan is attached
+    // but never fires, so nothing — jitter draws, stage timing, sample
+    // grids — may move.
+    let spec = FaultSpec::parse(
+        "down@100s..101s,degrade@200s..201s:4x,loss@300s..301s:0.5,crash:0@400s+5s",
+    )
+    .expect("valid spec");
+    let mut inert_model = NfsFs::with_defaults();
+    inert_model.set_faults(spec.build());
+    let inert = run_makefiles(&mut inert_model, 2, 2, &cfg);
+
+    assert_eq!(inert.total_retries(), 0, "no fault window ever opened");
+    assert_eq!(inert.total_failovers(), 0);
+    assert_eq!(
+        format!("{:?}", clean.workers),
+        format!("{:?}", inert.workers),
+        "an out-of-window fault plan must not perturb the simulation"
+    );
+}
