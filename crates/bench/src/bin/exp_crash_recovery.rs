@@ -1,0 +1,9 @@
+//! CRASH — power-loss injection, journal recovery and fsck sweep.
+//!
+//! Thin wrapper over the registered scenario `exp_crash_recovery`; the
+//! experiment logic lives in `dmetabench::scenarios`. Run every scenario at
+//! once (and compare against baselines) with `dmetabench suite`.
+
+fn main() {
+    dmetabench::suite::run_scenario_main("exp_crash_recovery");
+}

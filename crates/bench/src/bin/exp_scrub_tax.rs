@@ -1,0 +1,9 @@
+//! SCRUB — online integrity-scrub throughput tax sweep.
+//!
+//! Thin wrapper over the registered scenario `exp_scrub_tax`; the
+//! experiment logic lives in `dmetabench::scenarios`. Run every scenario at
+//! once (and compare against baselines) with `dmetabench suite`.
+
+fn main() {
+    dmetabench::suite::run_scenario_main("exp_scrub_tax");
+}

@@ -10,7 +10,8 @@
 
 use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
 use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
-use dmetabench::{all_plugin_names, baseline, bench, suite, BenchParams, Runner};
+use dmetabench::{all_plugin_names, baseline, bench, crashdrill, suite, BenchParams, Runner};
+use memfs::crash::CrashSpec;
 use netsim::fault::FaultSpec;
 use simcore::SimDuration;
 use std::path::PathBuf;
@@ -51,6 +52,13 @@ OPTIONS:
                              comma-separated down@A..B, degrade@A..B:Fx,
                              loss@A..B:P, crash:S@T+D, seed=N; times accept
                              s/ms/us/ns suffixes (bare numbers = seconds)
+  --crash <SPEC>             run a power-loss drill on the in-memory journal
+                             instead of a benchmark: comma-separated
+                             crash-after:N-records, torn:last, reorder:K,
+                             seed=N. Runs --problemsize scripted steps,
+                             cuts power, recovers, then checks prefix
+                             durability + fsck + scrub (nonzero exit on
+                             failure); ignores --fs/--mode
   --nodes <N>                simulated nodes              [default: 4]
   --slots-per-node <N>       simulated MPI slots per node [default: 2]
   --operations <A,B,...>     comma-separated plugin list  [default: MakeFiles]
@@ -79,6 +87,7 @@ struct Cli {
     mode: String,
     fs: String,
     faults: Option<FaultSpec>,
+    crash: Option<CrashSpec>,
     nodes: usize,
     slots_per_node: usize,
     threads: usize,
@@ -93,6 +102,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
         mode: "sim".into(),
         fs: "nfs".into(),
         faults: None,
+        crash: None,
         nodes: 4,
         slots_per_node: 2,
         threads: 4,
@@ -125,6 +135,11 @@ fn parse_args() -> Result<Option<Cli>, String> {
             "--faults" => {
                 cli.faults = Some(
                     FaultSpec::parse(&value("--faults")?).map_err(|e| format!("--faults: {e}"))?,
+                )
+            }
+            "--crash" => {
+                cli.crash = Some(
+                    CrashSpec::parse(&value("--crash")?).map_err(|e| format!("--crash: {e}"))?,
                 )
             }
             "--nodes" => {
@@ -563,6 +578,59 @@ fn bench_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn crash_drill_main(spec: &CrashSpec, steps: u64, metrics: bool) -> ExitCode {
+    let run = || crashdrill::run_drill(spec, steps);
+    let (report, telemetry) = if metrics {
+        let (r, t) = simcore::telemetry::capture(run);
+        (r, Some(t))
+    } else {
+        (run(), None)
+    };
+    println!(
+        "crash drill: {} step(s) before power cut, {} journal record(s) logged",
+        report.steps_before_crash, report.records_logged
+    );
+    println!(
+        "  recovery:  {} committed record(s) replayed, {} in-flight discarded",
+        report.replayed, report.discarded
+    );
+    println!(
+        "  durability: {} ({} path(s) in the recovered tree)",
+        if report.prefix_durable {
+            "committed prefix restored exactly"
+        } else {
+            "RECOVERED TREE != LAST COMMITTED TREE"
+        },
+        report.recovered_paths
+    );
+    if report.fsck_problems.is_empty() {
+        println!("  fsck:      clean");
+    } else {
+        println!("  fsck:      {} problem(s)", report.fsck_problems.len());
+        for p in &report.fsck_problems {
+            println!("             - {p}");
+        }
+    }
+    if report.scrub_errors.is_empty() {
+        println!("  scrub:     full sweep clean");
+    } else {
+        println!("  scrub:     {} error(s)", report.scrub_errors.len());
+        for e in &report.scrub_errors {
+            println!("             - {e}");
+        }
+    }
+    if let Some(telemetry) = &telemetry {
+        println!("{}", telemetry.to_metrics_json());
+    }
+    if report.passed() {
+        println!("drill PASSED");
+        ExitCode::SUCCESS
+    } else {
+        println!("drill FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("suite") {
@@ -579,6 +647,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(spec) = &cli.crash {
+        return crash_drill_main(spec, cli.params.problem_size, cli.metrics);
+    }
 
     let run_campaign = || -> Result<dmetabench::Campaign, String> {
         match cli.mode.as_str() {

@@ -1,0 +1,186 @@
+//! The `--crash <spec>` power-loss drill.
+//!
+//! A deterministic scripted workload runs on an async-journal [`MemFs`]
+//! with explicit commit boundaries every [`COMMIT_EVERY`] steps; the crash
+//! schedule (grammar: `crash-after:N-records`, `torn:last`, `reorder:K`,
+//! `seed=N` — the journal-side sibling of `--faults`) cuts power and
+//! damages the simulated log tail, then the drill recovers, replays, runs
+//! fsck, and sweeps the recovered image with the online scrubber. The same
+//! workload feeds the registered `exp_crash_recovery` scenario, so a drill
+//! failure is reproducible under the suite.
+
+use memfs::crash::CrashSpec;
+use memfs::{FileType, MemFs, MemFsConfig, OpenFlags, Scrubber, Vfs};
+
+/// Steps between the explicit journal commits of the drill workload.
+pub const COMMIT_EVERY: u64 = 5;
+
+/// An async-journal file system with auto-commit out of the way, a `/sync`
+/// fsync handle, and a clean checkpoint — the drill/scenario harness.
+pub(crate) fn harness_fs() -> MemFs {
+    let mut config = MemFsConfig::default();
+    config.journal_mode = memfs::JournalMode::Async;
+    config.commit_every = 1_000_000; // explicit commits only
+    let mut fs = MemFs::with_config(config);
+    fs.create("/sync")
+        .and_then(|fd| fs.close(fd))
+        .expect("/sync");
+    fs.checkpoint();
+    fs
+}
+
+/// One deterministic workload step: the mix covers every journal record
+/// kind (mkdir, create, write/setsize, rename, link, symlink, setxattr,
+/// unlink). Steps that race their own prerequisites simply fail and log
+/// nothing — crash triggers count records actually written.
+pub(crate) fn apply_step(fs: &mut MemFs, i: u64) {
+    match i % 8 {
+        0 => {
+            let _ = fs.mkdir(&format!("/d{}", i / 8));
+        }
+        1 => {
+            let path = format!("/d{}/f{i}", i / 8);
+            if let Ok(fd) = fs.open(&path, OpenFlags::write_create()) {
+                let len = 100 + (i as usize % 5) * 700;
+                fs.write(fd, &vec![i as u8; len]).expect("write");
+                fs.close(fd).expect("close");
+            }
+        }
+        2 => {
+            let _ = fs.create(&format!("/top{i}")).and_then(|fd| fs.close(fd));
+        }
+        3 => {
+            let _ = fs.rename(&format!("/top{}", i - 1), &format!("/moved{i}"));
+        }
+        4 => {
+            let _ = fs.symlink(&format!("/moved{}", i - 1), &format!("/s{i}"));
+        }
+        5 => {
+            let _ = fs.link(&format!("/moved{}", i - 2), &format!("/l{i}"));
+        }
+        6 => {
+            let _ = fs.setxattr(&format!("/moved{}", i - 3), "user.crash", &[i as u8]);
+        }
+        _ => {
+            let _ = fs.unlink(&format!("/l{}", i - 2));
+        }
+    }
+}
+
+/// Journaled-metadata view of the tree (path, type, size, nlink) — the
+/// prefix-durability comparison key. `lstat`-based so dangling symlinks
+/// are observable.
+pub(crate) fn observe_meta(fs: &mut MemFs) -> Vec<(String, u8, u64, u32)> {
+    let mut out = Vec::new();
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        let mut entries = fs.readdir(&dir).expect("readdir");
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in entries {
+            if e.name == "." || e.name == ".." {
+                continue;
+            }
+            let path = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            let st = fs.lstat(&path).expect("lstat");
+            let tag = match st.file_type {
+                FileType::Regular => 0,
+                FileType::Directory => 1,
+                FileType::Symlink => 2,
+            };
+            if st.file_type == FileType::Directory {
+                stack.push(path.clone());
+            }
+            out.push((path, tag, st.size, st.nlink));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Commit the journal through an fd on the pre-checkpoint `/sync` file.
+pub(crate) fn commit_all(fs: &mut MemFs) {
+    let fd = fs
+        .open("/sync", OpenFlags::read_only())
+        .expect("open /sync");
+    fs.fsync(fd).expect("fsync");
+    fs.close(fd).expect("close /sync");
+}
+
+/// What one drill run observed.
+#[derive(Debug, Clone)]
+pub struct DrillReport {
+    /// Workload steps executed before the power cut.
+    pub steps_before_crash: u64,
+    /// Journal records logged over the whole run.
+    pub records_logged: u64,
+    /// Committed records the recovery scanner replayed.
+    pub replayed: usize,
+    /// In-flight records refused (uncommitted + torn + reordered).
+    pub discarded: usize,
+    /// The recovered tree equals the last committed tree.
+    pub prefix_durable: bool,
+    /// fsck problems on the recovered image (empty = clean).
+    pub fsck_problems: Vec<String>,
+    /// Scrub errors from one full sweep of the recovered image.
+    pub scrub_errors: Vec<String>,
+    /// Paths in the recovered tree.
+    pub recovered_paths: usize,
+}
+
+impl DrillReport {
+    /// The drill passed: durable prefix, clean fsck, clean scrub.
+    pub fn passed(&self) -> bool {
+        self.prefix_durable && self.fsck_problems.is_empty() && self.scrub_errors.is_empty()
+    }
+}
+
+/// Run the drill: `steps` scripted ops, power cut per `spec` (at its
+/// `crash-after` trigger, or after the last step when the spec has none),
+/// recovery, fsck, and a full scrub sweep of the recovered image.
+pub fn run_drill(spec: &CrashSpec, steps: u64) -> DrillReport {
+    let mut fs = harness_fs();
+    let mut plan = spec.build();
+    let trigger = plan.crash_after();
+    let mut committed_obs = observe_meta(&mut fs);
+    let mut steps_before_crash = steps;
+
+    for i in 0..steps {
+        apply_step(&mut fs, i);
+        // The trigger outranks the step's commit: power cuts mid-window,
+        // with the step's records still volatile.
+        if trigger.is_some_and(|n| fs.journal_total_logged() >= n) {
+            steps_before_crash = i + 1;
+            break;
+        }
+        if i % COMMIT_EVERY == COMMIT_EVERY - 1 {
+            commit_all(&mut fs);
+            committed_obs = observe_meta(&mut fs);
+        }
+    }
+
+    let records_logged = fs.journal_total_logged();
+    let stats = fs.crash_with(&mut plan);
+    let recovered = observe_meta(&mut fs);
+    let prefix_durable = recovered == committed_obs;
+    let fsck_problems = fs.check();
+
+    let mut scrub = Scrubber::new();
+    while scrub.stats.sweeps_completed == 0 {
+        fs.scrub_step(&mut scrub, 64);
+    }
+
+    DrillReport {
+        steps_before_crash,
+        records_logged,
+        replayed: stats.replayed,
+        discarded: stats.discarded(),
+        prefix_durable,
+        fsck_problems,
+        scrub_errors: scrub.stats.errors,
+        recovered_paths: recovered.len(),
+    }
+}

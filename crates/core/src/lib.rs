@@ -52,6 +52,7 @@
 pub mod baseline;
 pub mod bench;
 pub mod chart;
+pub mod crashdrill;
 mod params;
 mod plugin;
 pub mod preprocess;

@@ -1,0 +1,183 @@
+//! SCRUB — online integrity-scrub throughput tax on a create-heavy load.
+//!
+//! Production filers background-scrub their metadata (WAFL's consistency
+//! checking, Lustre's lfsck) while serving traffic; the paper's benchmarks
+//! run with scrubbing invisible in the noise. This scenario makes the tax
+//! explicit: a create-heavy workload runs on `MemFs` with an online
+//! [`Scrubber`](memfs::Scrubber) interleaved at increasing intensities
+//! (inodes scanned per workload op), on a virtual clock derived from the
+//! work the data structures actually perform — directory probes, allocator
+//! scans, journal records/commits for the workload; probe + 4 KiB-checksum
+//! work units for the scrubber. The tax is the relative increase in total
+//! work per completed create.
+
+use crate::suite::{ExpTable, ReportBuilder};
+use memfs::{MemFs, MemFsConfig, OpCost, OpenFlags, Scrubber, Vfs};
+use simcore::{telemetry, SimTime};
+
+const OPS: u64 = 480;
+
+/// Scrub intensity sweep: inodes visited per workload op (0 = scrub off).
+const INTENSITIES: &[u64] = &[0, 1, 4, 16];
+
+/// Convert an [`OpCost`] into abstract work units on the same scale as
+/// [`ScrubReport::work_units`](memfs::ScrubReport): one probe/scan/block
+/// is one unit; a synchronous journal commit costs a flush (8 units).
+fn units(c: OpCost) -> u64 {
+    c.dir_probes
+        + c.alloc_scans
+        + c.blocks_allocated
+        + c.blocks_freed
+        + c.journal_records
+        + 8 * c.journal_commits
+}
+
+struct IntensityResult {
+    workload_units: u64,
+    scrub_units: u64,
+    sweeps: u64,
+    errors: usize,
+    fsck_clean: bool,
+}
+
+fn run_intensity(batch: u64) -> IntensityResult {
+    let mut config = MemFsConfig::default();
+    config.journal_mode = memfs::JournalMode::Async;
+    let mut fs = MemFs::with_config(config);
+    for d in 0..8 {
+        fs.mkdir(&format!("/d{d}")).expect("mkdir");
+    }
+    fs.checkpoint();
+    let _ = fs.take_cost();
+
+    let mut scrub = Scrubber::new();
+    let mut workload_units = 0u64;
+    let mut scrub_units = 0u64;
+
+    for i in 0..OPS {
+        let path = format!("/d{}/f{i}", i % 8);
+        let fd = fs.open(&path, OpenFlags::write_create()).expect("create");
+        fs.write(fd, &vec![i as u8; 256 + (i as usize % 7) * 512])
+            .expect("write");
+        fs.close(fd).expect("close");
+        if i % 16 == 15 {
+            // A sprinkle of deletions keeps the inode table moving under
+            // the scrub cursor.
+            let _ = fs.unlink(&format!("/d{}/f{}", (i - 8) % 8, i - 8));
+        }
+        workload_units += units(fs.take_cost());
+
+        if batch > 0 {
+            let report = fs.scrub_step(&mut scrub, batch as usize);
+            scrub_units += report.work_units;
+            // The scrubber's directory probes are already counted in its
+            // work units; drop them from the workload meter.
+            let _ = fs.take_cost();
+        }
+    }
+
+    IntensityResult {
+        workload_units,
+        scrub_units,
+        sweeps: scrub.stats.sweeps_completed,
+        errors: scrub.stats.errors.len(),
+        fsck_clean: fs.check().is_empty(),
+    }
+}
+
+pub fn run(b: &mut ReportBuilder) {
+    let pid = telemetry::begin_run("exp_scrub_tax");
+    let mut t = ExpTable::new(
+        "Online scrub tax — 480 creates (8 dirs) with an interleaved checksum sweep",
+        &[
+            "scrub batch/op",
+            "sweeps",
+            "scrub units",
+            "total units",
+            "tax %",
+        ],
+    );
+
+    let mut baseline_total = 0u64;
+    let mut taxes = Vec::new();
+    let mut sweeps = Vec::new();
+    let mut all_clean = true;
+    let mut total_errors = 0usize;
+    let mut clock_units = 0u64;
+
+    for (idx, &batch) in INTENSITIES.iter().enumerate() {
+        let start = clock_units;
+        let r = run_intensity(batch);
+        let total = r.workload_units + r.scrub_units;
+        clock_units += total;
+        telemetry::span(
+            pid,
+            idx as u64,
+            "scrub.intensity",
+            "scrub",
+            SimTime::from_micros(start),
+            SimTime::from_micros(clock_units),
+        );
+        if batch == 0 {
+            baseline_total = total;
+        }
+        let tax = (total as f64 - baseline_total as f64) / baseline_total as f64 * 100.0;
+        taxes.push(tax);
+        sweeps.push(r.sweeps);
+        all_clean &= r.fsck_clean;
+        total_errors += r.errors;
+
+        t.row(vec![
+            if batch == 0 {
+                "off".into()
+            } else {
+                batch.to_string()
+            },
+            r.sweeps.to_string(),
+            r.scrub_units.to_string(),
+            total.to_string(),
+            format!("{tax:.1}"),
+        ]);
+        b.metric_exact(&format!("scrub{batch}_units"), r.scrub_units as f64);
+        b.metric_exact(&format!("scrub{batch}_total_units"), total as f64);
+        b.metric_exact(&format!("scrub{batch}_sweeps"), r.sweeps as f64);
+        b.metric_tol(&format!("scrub{batch}_tax_pct"), tax, 1e-9);
+    }
+    b.table(t);
+    b.metric_exact("scrub_errors", total_errors as f64);
+
+    b.check(
+        "scrub_finds_no_errors_under_live_traffic",
+        total_errors == 0,
+        "every sweep over the mutating tree came back clean".into(),
+    );
+    b.check(
+        "tax_monotone_in_intensity",
+        taxes.windows(2).all(|w| w[0] <= w[1]),
+        format!("tax % by intensity: {taxes:?}"),
+    );
+    b.check(
+        "heavy_scrub_completes_sweeps",
+        *sweeps.last().expect("nonempty sweep") >= 1,
+        format!("sweeps by intensity: {sweeps:?}"),
+    );
+    b.check(
+        "scrubbing_costs_something",
+        *taxes.last().expect("nonempty sweep") > 0.0,
+        format!(
+            "heaviest intensity taxes throughput {:.1} %",
+            taxes.last().unwrap()
+        ),
+    );
+    b.check(
+        "fsck_clean_everywhere",
+        all_clean,
+        "final fsck clean at every intensity".into(),
+    );
+    b.summary(format!(
+        "scrub batches {INTENSITIES:?} per op: tax {:.1} % → {:.1} % of total work, {} sweeps at the heaviest setting, zero integrity errors",
+        taxes[1],
+        taxes.last().unwrap(),
+        sweeps.last().unwrap()
+    ));
+}

@@ -723,7 +723,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 23, "all 23 experiments are registered");
+        assert_eq!(reg.len(), 25, "all 25 experiments are registered");
         for (i, a) in reg.iter().enumerate() {
             for b in &reg[i + 1..] {
                 assert_ne!(a.id, b.id, "duplicate scenario id");

@@ -128,4 +128,64 @@ mod tests {
         // 0.7 + 1.4 + 2.8 s of backoff, then the soft mount sends anyway
         assert_eq!(stats.stall, SimDuration::from_millis(4900));
     }
+
+    #[test]
+    fn backoff_caps_at_max_timeout() {
+        // A long outage drives the doubling sequence 0.7, 1.4, … 44.8 into
+        // the 60 s ceiling; once there, every further stall is exactly 60 s.
+        let mut plan = FaultSpec::parse("down@0s..100000s").unwrap().build();
+        let policy = RetryPolicy {
+            max_retries: 12,
+            ..RetryPolicy::nfs_soft()
+        };
+        let (stages, stats) = retry_backoff(&mut plan, None, t(0), policy);
+        assert_eq!(stages.len(), 12);
+        let delays: Vec<SimDuration> = stages
+            .iter()
+            .map(|s| match s {
+                Stage::NetDelay { delay } => *delay,
+                other => panic!("unexpected stage {other:?}"),
+            })
+            .collect();
+        // 0.7 * 2^6 = 44.8 s is the last uncapped timeout (attempt index 6).
+        assert_eq!(delays[6], SimDuration::from_millis(44_800));
+        for d in &delays[7..] {
+            assert_eq!(*d, SimDuration::from_secs(60), "capped at max_timeout");
+        }
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "monotone backoff");
+        let expected: SimDuration = delays.iter().copied().sum();
+        assert_eq!(stats.stall, expected);
+    }
+
+    #[test]
+    fn default_policy_exhausts_at_ten_retries() {
+        let mut plan = FaultSpec::parse("down@0s..100000s").unwrap().build();
+        let (stages, stats) = retry_backoff(&mut plan, Some(0), t(0), RetryPolicy::default());
+        assert_eq!(stages.len(), 10, "nfs_soft gives up after 10 retransmits");
+        assert_eq!(stats.retries, 10);
+        assert_eq!(stats.injected, 10);
+        // Charged delays: 0.7, 1.4, 2.8, 5.6, 11.2, 22.4, 44.8 s, then the
+        // 60 s cap for the remaining three retransmits.
+        let expected = SimDuration::from_millis(700 + 1_400 + 2_800 + 5_600 + 11_200 + 22_400)
+            + SimDuration::from_millis(44_800)
+            + SimDuration::from_secs(60) * 3;
+        assert_eq!(stats.stall, expected);
+    }
+
+    #[test]
+    fn zero_retry_policy_never_stalls() {
+        // max_retries = 0 is a hard-fail policy: even mid-outage the plan
+        // charges nothing and sends immediately.
+        let mut plan = FaultSpec::parse("down@0s..1000s,crash:0@0s+500s")
+            .unwrap()
+            .build();
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::nfs_soft()
+        };
+        let (stages, stats) = retry_backoff(&mut plan, Some(0), t(5), policy);
+        assert!(stages.is_empty());
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.stall, SimDuration::ZERO);
+    }
 }

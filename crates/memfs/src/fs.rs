@@ -8,9 +8,12 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use simcore::telemetry;
+
 use crate::alloc::{new_allocator, AllocatorKind, BlockAllocator, Extent};
 use crate::attr::{DirEntry, FileAttr, FileType, Ino, Mode, DEFAULT_DIR_MODE, DEFAULT_FILE_MODE};
 use crate::cost::{CostMeter, OpCost, OpCounters};
+use crate::crash::{fnv1a, ScrubReport, Scrubber};
 use crate::dir::{new_index, DirIndex, DirIndexKind, RawEntry};
 use crate::error::{FsError, FsResult};
 use crate::journal::{Journal, JournalMode, JournalRecord};
@@ -632,6 +635,55 @@ impl MemFs {
     /// be a consistency bug, which tests assert never happens.
     pub fn crash_and_recover(&mut self) -> usize {
         let replay = self.journal.crash();
+        let n = replay.len();
+        self.restore_and_replay(replay);
+        n
+    }
+
+    /// Simulate a power loss shaped by a compiled [`CrashPlan`]: the live
+    /// journal is materialized as checksummed on-disk frames, the plan's
+    /// torn/reordered damage is applied to the in-flight tail, and the
+    /// recovery scanner decides what replays onto the last checkpoint
+    /// image. Returns what the scanner found.
+    ///
+    /// With an inert plan this is behaviourally identical to
+    /// [`crash_and_recover`](MemFs::crash_and_recover): the scanner admits
+    /// exactly the committed prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scanner admits anything other than the committed
+    /// prefix (a durability bug) or if an admitted record fails to replay
+    /// (a consistency bug); the crash harness asserts neither ever happens.
+    pub fn crash_with(
+        &mut self,
+        plan: &mut crate::crash::CrashPlan,
+    ) -> crate::crash::RecoveryStats {
+        let entries = self.journal.entries();
+        let committed = self.journal.committed_len();
+        // The checkpoint superblock records where the log starts.
+        let expected_first = entries.first().map(|(tx, _)| tx.0);
+        let mut disk = crate::crash::DiskJournal::materialize(entries, committed);
+        // The sealed region: committed record frames plus their marker.
+        let sealed = if committed > 0 { committed + 1 } else { 0 };
+        plan.damage(&mut disk, sealed);
+        let (replay, stats) = crate::crash::scan(&disk, expected_first);
+        let durable = self.journal.crash();
+        assert_eq!(
+            replay, durable,
+            "recovery scanner must admit exactly the committed prefix"
+        );
+        telemetry::count("memfs.crash.recoveries", 1);
+        telemetry::count("memfs.crash.replayed", stats.replayed as u64);
+        telemetry::count("memfs.crash.discarded", stats.discarded() as u64);
+        self.restore_and_replay(replay);
+        stats
+    }
+
+    /// Restore the last checkpoint image and replay `records` onto it.
+    /// Volatile state that cannot survive a power cycle — open handles and
+    /// advisory locks (their owners are gone) — is dropped.
+    fn restore_and_replay(&mut self, records: Vec<JournalRecord>) {
         let image = self
             .checkpoint_image
             .clone()
@@ -640,12 +692,11 @@ impl MemFs {
         self.allocator = image.allocator;
         self.next_ino = image.next_ino;
         self.open_files.clear();
-        let n = replay.len();
-        for record in replay {
+        self.locks.clear();
+        for record in records {
             self.apply_record(record)
                 .expect("committed journal record must replay cleanly");
         }
-        n
     }
 
     fn apply_record(&mut self, record: JournalRecord) -> FsResult<()> {
@@ -929,6 +980,128 @@ impl MemFs {
     /// Number of volatile journal records.
     pub fn journal_volatile_len(&self) -> usize {
         self.journal.volatile_len()
+    }
+
+    /// Total journal records ever logged — the monotone clock that
+    /// `crash-after:N-records` schedules are expressed against.
+    pub fn journal_total_logged(&self) -> u64 {
+        self.journal.total_logged()
+    }
+
+    // -- online scrub (paper §2.7.1) -----------------------------------------
+
+    /// Run one bounded step of an online integrity scrub: visit up to
+    /// `batch` inodes from the scrubber's cursor, checksumming payloads and
+    /// verifying per-inode invariants (size/extent/block agreement,
+    /// directory-entry/inode agreement, parent liveness). When the cursor
+    /// wraps past the end of the inode table the sweep completes and the
+    /// advisory lock tables are verified to reference live inodes.
+    ///
+    /// The sweep coexists with live traffic: mutations between steps are
+    /// fine (deleted inodes are skipped, new ones picked up on the next
+    /// sweep), which is exactly the scrub-tax situation `exp_scrub_tax`
+    /// measures. Work performed is charged to the [`CostMeter`] and
+    /// reported as abstract work units.
+    ///
+    /// Problems found are appended to `scrub.stats.errors`; on a healthy
+    /// file system every sweep is clean.
+    pub fn scrub_step(&mut self, scrub: &mut Scrubber, batch: usize) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut probes = 0u64;
+        while (report.scanned as usize) < batch {
+            let Some((&ino_num, node)) = self.inodes.range(scrub.cursor..).next() else {
+                report.wrapped = true;
+                scrub.cursor = 0;
+                scrub.stats.sweeps_completed += 1;
+                for lock_ino in self.locks.keys() {
+                    if !self.inodes.contains_key(lock_ino) {
+                        scrub
+                            .stats
+                            .errors
+                            .push(format!("lock table for dead ino#{lock_ino}"));
+                    }
+                }
+                break;
+            };
+            scrub.cursor = ino_num + 1;
+            report.scanned += 1;
+            report.work_units += 1;
+            scrub.stats.inodes_scanned += 1;
+            let attr = &node.attr;
+            match &node.data {
+                InodeData::Regular { data, extents } => {
+                    let _ = fnv1a(data);
+                    scrub.stats.bytes_checksummed += data.len() as u64;
+                    report.work_units += (data.len() as u64).div_ceil(4096);
+                    let extent_blocks: u64 = extents.iter().map(|e| e.len).sum();
+                    if extent_blocks != attr.blocks {
+                        scrub.stats.errors.push(format!(
+                            "ino#{ino_num}: extents cover {extent_blocks} blocks, attr says {}",
+                            attr.blocks
+                        ));
+                    }
+                    if data.len() as u64 != attr.size {
+                        scrub.stats.errors.push(format!(
+                            "ino#{ino_num}: payload {} bytes, attr size {}",
+                            data.len(),
+                            attr.size
+                        ));
+                    }
+                    if self.blocks_for(attr.size) != attr.blocks {
+                        scrub.stats.errors.push(format!(
+                            "ino#{ino_num}: size {} needs {} blocks, attr says {}",
+                            attr.size,
+                            self.blocks_for(attr.size),
+                            attr.blocks
+                        ));
+                    }
+                }
+                InodeData::Dir { index, parent } => {
+                    if !self.inodes.contains_key(&parent.0) {
+                        scrub
+                            .stats
+                            .errors
+                            .push(format!("dir ino#{ino_num} has dangling parent {parent}"));
+                    }
+                    for e in index.iter_entries() {
+                        scrub.stats.entries_verified += 1;
+                        scrub.stats.bytes_checksummed += e.name.len() as u64;
+                        report.work_units += 1;
+                        probes += 1;
+                        match self.inodes.get(&e.ino.0) {
+                            None => scrub.stats.errors.push(format!(
+                                "entry '{}' in ino#{ino_num} references missing {}",
+                                e.name, e.ino
+                            )),
+                            Some(child) => {
+                                if child.attr.file_type != e.file_type {
+                                    scrub.stats.errors.push(format!(
+                                        "entry '{}' in ino#{ino_num} has stale type",
+                                        e.name
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                InodeData::Symlink { target } => {
+                    let _ = fnv1a(target.as_bytes());
+                    scrub.stats.bytes_checksummed += target.len() as u64;
+                    if target.len() as u64 != attr.size {
+                        scrub
+                            .stats
+                            .errors
+                            .push(format!("symlink ino#{ino_num} size/target mismatch"));
+                    }
+                }
+            }
+        }
+        self.cost.dir_probes(probes);
+        telemetry::count("memfs.scrub.inodes", report.scanned);
+        if report.wrapped {
+            telemetry::count("memfs.scrub.sweeps", 1);
+        }
+        report
     }
 
     // -- advisory locks (paper §2.3.2) ---------------------------------------

@@ -153,6 +153,10 @@ pub struct Journal {
     records: Vec<(TxId, JournalRecord)>,
     committed: usize,
     next_tx: u64,
+    /// Sequence number the on-disk log currently starts at (recorded by the
+    /// checkpoint superblock); where `next_tx` rolls back to after a crash
+    /// with nothing committed.
+    base_seq: u64,
     commits: u64,
     checkpoints: u64,
 }
@@ -165,6 +169,7 @@ impl Journal {
             records: Vec::new(),
             committed: 0,
             next_tx: 0,
+            base_seq: 0,
             commits: 0,
             checkpoints: 0,
         }
@@ -224,24 +229,48 @@ impl Journal {
         self.checkpoints
     }
 
+    /// The sequence number the next record will receive. Monotone across
+    /// commits and checkpoints — crash schedules (`crash-after:N-records`)
+    /// are expressed against it. A crash rolls it back to the durable
+    /// frontier (lost volatile slots are reused, like LSNs).
+    pub fn total_logged(&self) -> u64 {
+        self.next_tx
+    }
+
+    /// The live log: committed prefix followed by the volatile tail, each
+    /// record tagged with its [`TxId`] sequence number.
+    pub fn entries(&self) -> &[(TxId, JournalRecord)] {
+        &self.records
+    }
+
     /// Checkpoint: the in-place metadata is durable, so drop the log.
     pub fn checkpoint(&mut self) {
         self.records.clear();
         self.committed = 0;
+        self.base_seq = self.next_tx;
         self.checkpoints += 1;
         telemetry::count("memfs.journal.checkpoint", 1);
     }
 
     /// Simulate a crash: volatile records are lost; the committed prefix is
     /// returned for replay onto the last checkpoint image.
+    ///
+    /// The committed prefix stays in the log: on real storage the committed
+    /// region survives power loss and is only retired by the next
+    /// [`checkpoint`](Journal::checkpoint). Discarding it here would make a
+    /// *second* crash (before any checkpoint) replay only the records logged
+    /// since the first one — silently dropping durable transactions.
+    ///
+    /// Sequence numbers the lost volatile records were holding are reused:
+    /// the on-disk log ends at the durable frontier, so the next append
+    /// lands in the next physical slot (LSN rollback).
     pub fn crash(&mut self) -> Vec<JournalRecord> {
-        let replay: Vec<JournalRecord> = self.records[..self.committed]
-            .iter()
-            .map(|(_, r)| r.clone())
-            .collect();
-        self.records.clear();
-        self.committed = 0;
-        replay
+        self.records.truncate(self.committed);
+        self.next_tx = self
+            .records
+            .last()
+            .map_or(self.base_seq, |(tx, _)| tx.0 + 1);
+        self.records.iter().map(|(_, r)| r.clone()).collect()
     }
 }
 
@@ -385,7 +414,28 @@ mod tests {
         let replay = j.crash();
         assert_eq!(replay, vec![rec("a")]);
         assert_eq!(j.volatile_len(), 0);
-        assert_eq!(j.committed_len(), 0);
+        // The committed region survives the crash — it is still needed by
+        // any later crash that happens before the next checkpoint.
+        assert_eq!(j.committed_len(), 1);
+    }
+
+    #[test]
+    fn crash_twice_replays_all_committed_records() {
+        // Regression: crash() used to clear the committed prefix, so a
+        // second crash before a checkpoint replayed only the records logged
+        // after the first crash and lost earlier durable transactions.
+        let mut j = Journal::new(JournalMode::Async);
+        j.log(rec("a"));
+        j.commit();
+        assert_eq!(j.crash(), vec![rec("a")]);
+        j.log(rec("b"));
+        j.commit();
+        j.log(rec("c")); // volatile at the second crash
+        assert_eq!(j.crash(), vec![rec("a"), rec("b")]);
+        assert_eq!(j.total_logged(), 2, "lost volatile slot is reused");
+        // A checkpoint finally retires the committed region.
+        j.checkpoint();
+        assert!(j.crash().is_empty());
     }
 
     #[test]

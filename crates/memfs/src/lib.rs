@@ -11,6 +11,9 @@
 //! * two block allocators ([`BitmapAllocator`], [`ExtentAllocator`]),
 //! * a metadata [`Journal`] with sync/async commit and crash replay, plus
 //!   Patocka's [`CrashCountTable`] (§2.7.1),
+//! * a power-loss simulation layer ([`crash`]) — seeded crash schedules
+//!   with torn and reordered tail writes, a checksum-verified recovery
+//!   scanner, and an online integrity [`Scrubber`],
 //! * the [`Vfs`] trait that makes benchmark code file-system independent
 //!   (§3.2.1), and [`StdFs`], the adapter that runs the same operations on a
 //!   real kernel file system,
@@ -41,6 +44,7 @@
 mod alloc;
 mod attr;
 mod cost;
+pub mod crash;
 mod dir;
 mod error;
 mod fs;
@@ -56,6 +60,9 @@ pub use alloc::{
 };
 pub use attr::{DirEntry, FileAttr, FileType, Ino, Mode, DEFAULT_DIR_MODE, DEFAULT_FILE_MODE};
 pub use cost::{CostMeter, OpCost, OpCounters};
+pub use crash::{
+    CrashClause, CrashPlan, CrashSpec, RecoveryStats, ScrubReport, ScrubStats, Scrubber,
+};
 pub use dir::{
     new_index, BTreeDir, DirIndex, DirIndexKind, HashedDir, LinearDir, Probed, RawEntry,
 };

@@ -147,6 +147,68 @@ fn snapshot_delete_leaves_live_tree_intact() {
     assert!(fs.check().is_empty());
 }
 
+/// fsck accepts the degenerate images: a brand-new file system and one
+/// holding nothing but the root directory survive a checkpoint/crash cycle
+/// with a clean bill of health.
+#[test]
+fn fsck_clean_on_empty_and_root_only_fs() {
+    // Empty: never touched at all.
+    let mut empty = MemFs::new();
+    assert!(empty.check().is_empty(), "empty fsck: {:?}", empty.check());
+    assert!(observe(&mut empty).is_empty());
+
+    // Root-only: contents created then fully removed, checkpointed, crashed.
+    let mut fs = MemFs::new();
+    write_file(&mut fs, "/transient", 0x01, 64);
+    fs.mkdir("/gone").unwrap();
+    fs.unlink("/transient").unwrap();
+    fs.rmdir("/gone").unwrap();
+    fs.checkpoint();
+    fs.crash_and_recover();
+    assert!(fs.check().is_empty(), "root-only fsck: {:?}", fs.check());
+    assert!(observe(&mut fs).is_empty());
+    let root = fs.stat("/").unwrap();
+    assert_eq!(root.file_type, FileType::Directory);
+}
+
+/// A snapshot captured midway through a multi-step rename sequence shows
+/// the intermediate tree, passes fsck, and stays frozen while the live
+/// tree finishes (and partially reverses) the renames.
+#[test]
+fn fsck_clean_on_snapshot_taken_mid_rename() {
+    let mut fs = MemFs::new();
+    fs.mkdir("/src").unwrap();
+    fs.mkdir("/dst").unwrap();
+    write_file(&mut fs, "/src/a", 0xA1, 512);
+    write_file(&mut fs, "/src/b", 0xB2, 1024);
+    write_file(&mut fs, "/dst/b", 0xB3, 99); // will be clobbered by step 2
+
+    // Step 1 of the sequence lands, then we snapshot mid-flight.
+    fs.rename("/src/a", "/dst/a").unwrap();
+    fs.snapshot_create("mid-rename").unwrap();
+    let mut snap = fs.snapshot_open("mid-rename").unwrap();
+    let golden = observe(&mut snap);
+
+    // Steps 2..: clobbering rename, then a rename back across directories.
+    fs.rename("/src/b", "/dst/b").unwrap();
+    fs.rename("/dst/a", "/src/a").unwrap();
+    fs.rmdir("/src").expect_err("src still holds a");
+
+    let mut snap_after = fs.snapshot_open("mid-rename").unwrap();
+    assert_eq!(observe(&mut snap_after), golden);
+    // The snapshot saw exactly one rename: a moved, both b's intact.
+    assert!(snap_after.stat("/src/a").is_err());
+    assert_eq!(snap_after.stat("/dst/a").unwrap().size, 512);
+    assert_eq!(snap_after.stat("/src/b").unwrap().size, 1024);
+    assert_eq!(snap_after.stat("/dst/b").unwrap().size, 99);
+    assert!(
+        snap_after.check().is_empty(),
+        "mid-rename snapshot fsck: {:?}",
+        snap_after.check()
+    );
+    assert!(fs.check().is_empty(), "live fsck: {:?}", fs.check());
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     Create(u8),

@@ -127,3 +127,74 @@ fn writeback_metrics_identical_across_jobs_levels() {
     let parallel = render(run.results[0].telemetry.as_ref().expect("traced"));
     assert_eq!(solo, parallel);
 }
+
+/// The crash-consistency scenarios are byte-identical — ShapeReport, Chrome
+/// trace and metrics summary — across jobs levels and claim orders, like
+/// every other registered scenario.
+#[test]
+fn crash_and_scrub_runs_identical_across_jobs_and_orders() {
+    let scenarios: Vec<&'static Scenario> = ["exp_crash_recovery", "exp_scrub_tax"]
+        .iter()
+        .map(|id| suite::find(id).expect("registered"))
+        .collect();
+    let solo: Vec<(String, (String, String))> = scenarios
+        .iter()
+        .map(|s| {
+            let result = suite::run_scenario_traced(s);
+            let report =
+                serde_json::to_string_pretty(&result.outcome.as_ref().expect("no panic").report)
+                    .expect("serializable");
+            (
+                report,
+                render(result.telemetry.as_ref().expect("traced run captures")),
+            )
+        })
+        .collect();
+    for (jobs, order) in [(1, [0, 1]), (2, [0, 1]), (2, [1, 0]), (4, [1, 0])] {
+        let run = suite::run_suite_ordered_traced(&scenarios, jobs, &order);
+        for (result, (solo_report, (solo_trace, solo_metrics))) in run.results.iter().zip(&solo) {
+            let report =
+                serde_json::to_string_pretty(&result.outcome.as_ref().expect("no panic").report)
+                    .expect("serializable");
+            let (trace, metrics) = render(result.telemetry.as_ref().expect("traced"));
+            assert_eq!(
+                &report, solo_report,
+                "{} report (jobs {jobs}, order {order:?})",
+                result.scenario.id
+            );
+            assert_eq!(
+                &trace, solo_trace,
+                "{} trace (jobs {jobs}, order {order:?})",
+                result.scenario.id
+            );
+            assert_eq!(
+                &metrics, solo_metrics,
+                "{} metrics (jobs {jobs}, order {order:?})",
+                result.scenario.id
+            );
+        }
+    }
+}
+
+/// Golden event counts for the crash-consistency scenarios: the power-loss
+/// sweep performs exactly ten recoveries (five schedules, each crashed
+/// twice) and the scrub sweep's telemetry must not drift silently.
+#[test]
+fn crash_recovery_telemetry_counts_are_pinned() {
+    let s = suite::find("exp_crash_recovery").expect("registered");
+    let result = suite::run_scenario_traced(s);
+    result.outcome.as_ref().expect("scenario does not panic");
+    let t = result.telemetry.expect("traced run captures");
+    assert_eq!(t.counter("memfs.crash.recoveries"), 10);
+    assert_eq!(t.counter("memfs.crash.replayed"), 434);
+    assert_eq!(t.counter("memfs.crash.discarded"), 26);
+    assert_eq!(t.span_count("crash.schedule"), 5);
+
+    let s = suite::find("exp_scrub_tax").expect("registered");
+    let result = suite::run_scenario_traced(s);
+    result.outcome.as_ref().expect("scenario does not panic");
+    let t = result.telemetry.expect("traced run captures");
+    assert_eq!(t.counter("memfs.scrub.sweeps"), 68);
+    assert_eq!(t.counter("memfs.scrub.inodes"), 9603);
+    assert_eq!(t.span_count("scrub.intensity"), 4);
+}
