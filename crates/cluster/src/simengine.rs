@@ -16,8 +16,8 @@ use std::collections::HashMap;
 
 use dfs::{BackgroundJob, ClientCtx, DistFs, MetaOp, OpPlan, Stage};
 use simcore::{
-    telemetry, DetRng, FifoResource, JobId, LatencyHistogram, PsResource, Scheduler, Semaphore,
-    SimDuration, SimTime,
+    prof, telemetry, DetRng, FifoResource, JobId, LatencyHistogram, PsResource, Scheduler,
+    Semaphore, SimDuration, SimTime,
 };
 
 /// A source of operations for one worker.
@@ -267,6 +267,19 @@ enum Ev {
     },
 }
 
+/// Per-segment latency accumulators for the operation in flight. The
+/// engine's invariant: every virtual nanosecond between op start and op
+/// completion is spent inside exactly one blocking stage, so the five
+/// segments sum exactly to the op's end-to-end latency.
+#[derive(Debug, Clone, Copy, Default)]
+struct SegAcc {
+    client_ns: u64,
+    network_ns: u64,
+    queue_ns: u64,
+    service_ns: u64,
+    lock_ns: u64,
+}
+
 struct WState {
     spec: WorkerSpec,
     plan: Option<OpPlan>,
@@ -283,6 +296,17 @@ struct WState {
     op_name: &'static str,
     /// When the worker started blocking on a semaphore (telemetry only).
     sem_wait_start: Option<SimTime>,
+    /// Causal id of the op span in flight (0 while telemetry is off).
+    op_id: u64,
+    /// When the worker entered its current blocking stage (critical-path
+    /// attribution anchor; always advanced to `now` on stage completion).
+    stage_entered: SimTime,
+    /// Segment accumulators for the op in flight.
+    seg: SegAcc,
+    /// Cache outcome of the plan in flight.
+    cache: telemetry::CacheTag,
+    /// Flow id of the server RPC in flight (telemetry only).
+    rpc_flow: Option<u64>,
 }
 
 /// Telemetry span name for an operation.
@@ -342,6 +366,10 @@ pub fn run_sim(
         for (s, spec) in resources.servers.iter().enumerate() {
             telemetry::name_track(pid, telemetry::server_tid(s), &spec.name);
         }
+        for (i, spec) in resources.semaphores.iter().enumerate() {
+            telemetry::name_track(pid, telemetry::sem_tid(i), &spec.name);
+        }
+        telemetry::name_track(pid, telemetry::ENGINE_TID, "engine");
     }
     let mut servers: Vec<FifoResource> = resources
         .servers
@@ -376,9 +404,15 @@ pub fn run_sim(
             failovers: 0,
             op_name: "op",
             sem_wait_start: None,
+            op_id: 0,
+            stage_entered: SimTime::ZERO,
+            seg: SegAcc::default(),
+            cache: telemetry::CacheTag::Untagged,
+            rpc_flow: None,
         })
         .collect();
-    let mut bg_jobs: HashMap<u64, (BackgroundJob, SimTime)> = HashMap::new();
+    // background jobs in flight: id → (job, arrival, causal parent op id)
+    let mut bg_jobs: HashMap<u64, (BackgroundJob, SimTime, u64)> = HashMap::new();
     let mut next_bg: u64 = BG_BASE;
     let mut unfinished = states.len();
 
@@ -476,7 +510,7 @@ pub fn run_sim(
         streams: &mut [Box<dyn OpStream>],
         sched: &mut Scheduler<Ev>,
         servers: &mut [FifoResource],
-        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime)>,
+        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime, u64)>,
         next_bg: &mut u64,
         rng: &mut DetRng,
         deadline: Option<SimTime>,
@@ -503,6 +537,11 @@ pub fn run_sim(
                 Ok(plan) => {
                     states[w].op_started = now;
                     states[w].op_name = op_label(&op);
+                    states[w].op_id = telemetry::fresh_id();
+                    states[w].stage_entered = now;
+                    states[w].seg = SegAcc::default();
+                    states[w].cache = plan.cache;
+                    states[w].rpc_flow = None;
                     let f = plan.faults;
                     if f.injected > 0 || f.retries > 0 || f.failovers > 0 {
                         states[w].retries += u64::from(f.retries);
@@ -536,7 +575,7 @@ pub fn run_sim(
                     for job in &plan.background {
                         let id = JobId(*next_bg);
                         *next_bg += 1;
-                        bg_jobs.insert(id.0, (*job, now));
+                        bg_jobs.insert(id.0, (*job, now, states[w].op_id));
                         server_arrive(sched, servers, job.server.0, id, job.demand, now);
                     }
                     let st = &mut states[w];
@@ -551,6 +590,51 @@ pub fn run_sim(
                 }
             }
         }
+    }
+
+    // Attribute the blocking stage worker `w` just completed to one of its
+    // op's latency segments (called on every `StageCompleted` delivery,
+    // before the stage pointer advances). `stage_entered` is then re-anchored
+    // at `now`, so consecutive stages tile the op's latency exactly: client
+    // CPU (incl. processor-sharing delay), network (incl. retry/failover
+    // backoff), server service vs. queueing (incl. pause windows), and lock
+    // wait. A completed server stage also closes the RPC flow edge and emits
+    // the server-side `rpc` span.
+    fn attribute_stage(w: usize, states: &mut [WState], now: SimTime, pid: u32) {
+        let st = &mut states[w];
+        let Some(plan) = st.plan.as_ref() else {
+            return;
+        };
+        let Some(stage) = plan.stages.get(st.stage) else {
+            return;
+        };
+        let elapsed = now.saturating_since(st.stage_entered).as_nanos();
+        match *stage {
+            Stage::ClientCpu { .. } => st.seg.client_ns += elapsed,
+            Stage::NetDelay { .. } => st.seg.network_ns += elapsed,
+            Stage::Server { server, demand } => {
+                let service = demand.as_nanos().min(elapsed);
+                st.seg.service_ns += service;
+                st.seg.queue_ns += elapsed - service;
+                if let Some(flow) = st.rpc_flow.take() {
+                    let tid = telemetry::server_tid(server.0);
+                    telemetry::span_with_id(
+                        pid,
+                        tid,
+                        "rpc",
+                        "rpc",
+                        st.stage_entered,
+                        now,
+                        flow,
+                        st.op_id,
+                    );
+                    telemetry::flow_finish(pid, tid, "rpc", "rpc", now, flow);
+                }
+            }
+            Stage::AcquireSem { .. } => st.seg.lock_ns += elapsed,
+            Stage::ReleaseSem { .. } => {}
+        }
+        st.stage_entered = now;
     }
 
     fn finish_worker(w: usize, states: &mut [WState], unfinished: &mut usize, now: SimTime) {
@@ -573,7 +657,7 @@ pub fn run_sim(
         cpus: &mut [PsResource],
         servers: &mut [FifoResource],
         sems: &mut [Semaphore],
-        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime)>,
+        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime, u64)>,
         next_bg: &mut u64,
         rng: &mut DetRng,
         deadline: Option<SimTime>,
@@ -603,15 +687,31 @@ pub fn run_sim(
                 st.ops_done += 1;
                 let lat = now.saturating_since(st.op_started);
                 st.latency.push(lat);
-                telemetry::span(
+                telemetry::span_with_id(
                     pid,
                     telemetry::worker_tid(w),
                     st.op_name,
                     "op",
                     st.op_started,
                     now,
+                    st.op_id,
+                    0,
                 );
                 telemetry::observe("op.latency", lat);
+                telemetry::op_record(telemetry::OpRecord {
+                    pid,
+                    tid: telemetry::worker_tid(w),
+                    name: st.op_name,
+                    id: st.op_id,
+                    start_ns: st.op_started.as_nanos(),
+                    dur_ns: lat.as_nanos(),
+                    client_ns: st.seg.client_ns,
+                    network_ns: st.seg.network_ns,
+                    queue_ns: st.seg.queue_ns,
+                    service_ns: st.seg.service_ns,
+                    lock_ns: st.seg.lock_ns,
+                    cache: st.cache,
+                });
                 st.plan = None;
                 if !start_op(
                     w, model, states, streams, sched, servers, bg_jobs, next_bg, rng, deadline,
@@ -639,6 +739,18 @@ pub fn run_sim(
                     return;
                 }
                 Stage::Server { server, demand } => {
+                    if telemetry::enabled() {
+                        let flow = telemetry::fresh_id();
+                        states[w].rpc_flow = Some(flow);
+                        telemetry::flow_start(
+                            pid,
+                            telemetry::worker_tid(w),
+                            "rpc",
+                            "rpc",
+                            now,
+                            flow,
+                        );
+                    }
                     server_arrive(sched, servers, server.0, job, demand, now);
                     return;
                 }
@@ -704,6 +816,18 @@ pub fn run_sim(
         let Some((now, ev)) = sched.pop() else {
             panic!("deadlock: {unfinished} workers never finished");
         };
+        // wall-clock profiling of the dispatch hot path (no-op unless
+        // DMETABENCH_PROF is on; see simcore::prof)
+        let _prof = prof::scope(match &ev {
+            Ev::StageCompleted { .. } => "engine.stage_completed",
+            Ev::CpuDone { .. } => "engine.cpu_done",
+            Ev::ServerDone { .. } => "engine.server_done",
+            Ev::PauseEnd { .. } => "engine.pause_end",
+            Ev::Sample => "engine.sample",
+            Ev::ModelTimer => "engine.model_timer",
+            Ev::HogStart { .. } | Ev::HogEnd { .. } => "engine.hog",
+            Ev::LoadTick { .. } => "engine.load_tick",
+        });
         match ev {
             Ev::StageCompleted { job } => {
                 let w = job.0 as usize;
@@ -711,6 +835,7 @@ pub fn run_sim(
                 if states[w].finished_at.is_some() {
                     continue;
                 }
+                attribute_stage(w, &mut states, now, pid);
                 states[w].stage += 1;
                 advance(
                     w,
@@ -749,14 +874,16 @@ pub fn run_sim(
                 }
                 if job.0 >= BG_BASE && job.0 < HOG_BASE {
                     // background job finished
-                    if let Some((bg, arrived)) = bg_jobs.remove(&job.0) {
-                        telemetry::span(
+                    if let Some((bg, arrived, parent)) = bg_jobs.remove(&job.0) {
+                        telemetry::span_with_id(
                             pid,
                             telemetry::server_tid(bg.server.0),
                             bg.label.unwrap_or("background"),
                             "bg",
                             arrived,
                             now,
+                            0,
+                            parent,
                         );
                         model.on_background_complete(bg.server, now);
                         if let Some(sem) = bg.release_sem {
@@ -785,6 +912,45 @@ pub fn run_sim(
                     if st.finished_at.is_none() {
                         st.samples.push((now, st.ops_done));
                     }
+                }
+                // Virtual-time gauge sampling piggybacks on the existing
+                // progress-sample grid: no extra scheduled events, no RNG,
+                // pure observation — a traced run pops the exact same event
+                // sequence as an untraced one.
+                if telemetry::enabled() {
+                    for (s, srv) in servers.iter().enumerate() {
+                        let tid = telemetry::server_tid(s);
+                        telemetry::gauge(pid, tid, "queue_depth", now, srv.queue_len() as u64);
+                        telemetry::gauge(pid, tid, "in_service", now, srv.busy() as u64);
+                    }
+                    for (i, sem) in sems.iter().enumerate() {
+                        telemetry::gauge(
+                            pid,
+                            telemetry::sem_tid(i),
+                            "waiters",
+                            now,
+                            sem.queue_len() as u64,
+                        );
+                    }
+                    let outstanding = states
+                        .iter()
+                        .filter(|st| {
+                            st.finished_at.is_none()
+                                && st.plan.as_ref().is_some_and(|p| {
+                                    matches!(p.stages.get(st.stage), Some(Stage::Server { .. }))
+                                })
+                        })
+                        .count();
+                    telemetry::gauge(
+                        pid,
+                        telemetry::ENGINE_TID,
+                        "rpcs_outstanding",
+                        now,
+                        outstanding as u64,
+                    );
+                    model.sample_gauges(&mut |name, value| {
+                        telemetry::gauge(pid, telemetry::ENGINE_TID, name, now, value);
+                    });
                 }
                 if unfinished > 0 {
                     sched.schedule_after(config.sample_interval, Ev::Sample);
@@ -850,6 +1016,7 @@ pub fn run_sim(
                                 label: Some("server-load"),
                             },
                             now,
+                            0, // a disturbance has no causal parent op
                         ),
                     );
                     server_arrive(&mut sched, &mut servers, *server, id, *demand, now);

@@ -10,7 +10,9 @@
 
 use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
 use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
-use dmetabench::{all_plugin_names, baseline, bench, crashdrill, suite, BenchParams, Runner};
+use dmetabench::{
+    all_plugin_names, analyze, baseline, bench, crashdrill, suite, BenchParams, Runner,
+};
 use memfs::crash::CrashSpec;
 use netsim::fault::FaultSpec;
 use simcore::SimDuration;
@@ -24,6 +26,19 @@ USAGE:
   dmetabench [OPTIONS]
   dmetabench suite [SUITE OPTIONS]    run the experiment shape-regression suite
   dmetabench bench [BENCH OPTIONS]    wall-clock benchmark, emits BENCH_<id>.json
+  dmetabench analyze <ID...> [ANALYZE OPTIONS]
+                                      re-run scenarios with causal tracing and
+                                      report the critical-path breakdown
+
+ANALYZE OPTIONS:
+  --scenario <ID>            analyze scenario ID (same as a positional ID;
+                             may be repeated)
+  --out <DIR>                write <id>.critpath.json, <id>.timeseries.json
+                             and <id>.report.md into DIR (created if missing)
+  --md                       print the full Markdown report to stdout
+  --top <N>                  keep the N slowest chains        [default: 10]
+  (set DMETABENCH_PROF=1 to also print a wall-clock profile of the
+  scheduler/event hot path — diagnostic only, never affects traces)
 
 BENCH OPTIONS:
   --scenarios <A,B,...>      micro workloads (snapshot_churn, create_churn) or
@@ -467,6 +482,137 @@ fn suite_main(args: &[String]) -> ExitCode {
     }
 }
 
+struct AnalyzeCli {
+    ids: Vec<String>,
+    out: Option<PathBuf>,
+    md: bool,
+    top: usize,
+}
+
+fn parse_analyze_args(args: &[String]) -> Result<Option<AnalyzeCli>, String> {
+    let mut cli = AnalyzeCli {
+        ids: Vec::new(),
+        out: None,
+        md: false,
+        top: 10,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--scenario" => cli.ids.push(value("--scenario")?),
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--md" => cli.md = true,
+            "--top" => cli.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            other if !other.starts_with('-') => cli.ids.push(other.to_owned()),
+            other => return Err(format!("unknown analyze option '{other}' (try --help)")),
+        }
+    }
+    if cli.ids.is_empty() {
+        return Err("analyze needs at least one scenario id (try `suite --list`)".into());
+    }
+    Ok(Some(cli))
+}
+
+fn analyze_main(args: &[String]) -> ExitCode {
+    let cli = match parse_analyze_args(args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prof_on = simcore::prof::init_from_env();
+    if let Some(dir) = &cli.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failures = 0usize;
+    for id in &cli.ids {
+        let Some(scenario) = suite::find(id) else {
+            eprintln!("error: unknown scenario '{id}' (try `suite --list`)");
+            failures += 1;
+            continue;
+        };
+        eprintln!("analyzing {id} (causal tracing on)...");
+        let result = suite::run_scenario_traced(scenario);
+        if let Err(msg) = &result.outcome {
+            eprintln!("error: {id} panicked: {msg}");
+            failures += 1;
+            continue;
+        }
+        let Some(telemetry) = &result.telemetry else {
+            eprintln!("error: {id} produced no telemetry");
+            failures += 1;
+            continue;
+        };
+        let analysis = analyze::analyze(telemetry, cli.top);
+        if !analysis.consistency.consistent {
+            eprintln!(
+                "error: {id}: segment attribution inconsistent: {:?}",
+                analysis.consistency
+            );
+            failures += 1;
+        }
+        if let Some(dir) = &cli.out {
+            for (suffix, content) in [
+                ("critpath.json", analysis.to_json(id)),
+                ("timeseries.json", telemetry.to_timeseries_json()),
+                ("report.md", analysis.to_markdown(id)),
+            ] {
+                let path = dir.join(format!("{id}.{suffix}"));
+                if let Err(e) = std::fs::write(&path, content) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[analyze] {}", path.display());
+            }
+        }
+        if cli.md {
+            print!("{}", analysis.to_markdown(id));
+        } else {
+            let cons = &analysis.consistency;
+            let total_ms = analysis.dur_total_ns as f64 / 1e6;
+            println!(
+                "{id}: {} op(s), {total_ms:.3} ms total latency ({})",
+                cons.records,
+                if cons.consistent {
+                    "segments consistent"
+                } else {
+                    "INCONSISTENT"
+                }
+            );
+            for (seg, v) in analyze::SEGMENTS.iter().zip(analysis.totals) {
+                let share = if analysis.dur_total_ns == 0 {
+                    0.0
+                } else {
+                    v as f64 * 100.0 / analysis.dur_total_ns as f64
+                };
+                println!("  {seg:8} {:>12.3} ms  {share:>5.1}%", v as f64 / 1e6);
+            }
+        }
+    }
+    if prof_on {
+        eprint!("{}", simcore::prof::report());
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 struct BenchCli {
     scenarios: Vec<String>,
     reps: u32,
@@ -638,6 +784,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("bench") {
         return bench_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("analyze") {
+        return analyze_main(&argv[1..]);
     }
     let cli = match parse_args() {
         Ok(Some(cli)) => cli,

@@ -21,7 +21,10 @@
 //!   performance-vs-processes and performance-vs-nodes charts (§3.3.10),
 //!   as ASCII and SVG,
 //! * [environment profiling](crate::EnvironmentProfile) for retrospective
-//!   analysis (§3.2.6).
+//!   analysis (§3.2.6),
+//! * [critical-path analysis](crate::analyze) over captured telemetry:
+//!   per-op latency attribution into network / queueing / service /
+//!   lock-wait / client segments (`dmetabench analyze`).
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod baseline;
 pub mod bench;
 pub mod chart;

@@ -654,8 +654,11 @@ pub fn emit_markdown(run: &SuiteRun) -> String {
          \n\
          Charts are written to `target/experiments/*.svg`. Passing\n\
          `--trace-out <dir>` to `dmetabench suite` additionally writes a\n\
-         Chrome/Perfetto trace and a metrics summary per scenario (see the\n\
-         README's Observability section).\n",
+         Chrome/Perfetto trace and a metrics summary per scenario, and\n\
+         `dmetabench analyze <id>` breaks each operation's end-to-end\n\
+         latency into causal segments (network, queueing, service, lock\n\
+         wait) from the same traces (see the README's Observability\n\
+         section).\n",
     );
     let mut current_group = "";
     for result in &run.results {

@@ -263,15 +263,19 @@ impl DistFs for AfsFs {
                 telemetry::count("afs.callback_break", broken);
             }
         }
+        let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.callback_caches[client.node].lookup(path) =>
             {
                 telemetry::count("afs.callback_cache.hit", 1);
-                return Ok(OpPlan::local(self.config.cached_stat_cpu));
+                return Ok(
+                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
+                );
             }
             MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
                 telemetry::count("afs.callback_cache.miss", 1);
+                cache_tag = telemetry::CacheTag::Miss;
             }
             _ => {}
         }
@@ -342,6 +346,7 @@ impl DistFs for AfsFs {
         Ok(OpPlan {
             stages,
             faults: fstats,
+            cache: cache_tag,
             ..Default::default()
         })
     }
@@ -351,6 +356,21 @@ impl DistFs for AfsFs {
         // re-mounts); drop-caches clears callbacks but not VLDB knowledge.
         if let Some(c) = self.callback_caches.get_mut(node) {
             c.clear();
+        }
+    }
+
+    fn sample_gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let callbacks: usize = self.callback_caches.iter().map(CallbackCache::len).sum();
+        emit("afs.callback_cache.entries", callbacks as u64);
+        let vldb: usize = self.vldb_caches.iter().map(AttrCache::len).sum();
+        emit("afs.vldb_cache.entries", vldb as u64);
+        let stats = self
+            .callback_caches
+            .iter()
+            .map(|c| c.stats())
+            .fold((0u64, 0u64), |acc, s| (acc.0 + s.hits, acc.1 + s.misses));
+        if let Some(permille) = (stats.0 * 1000).checked_div(stats.0 + stats.1) {
+            emit("afs.callback_cache.hit_permille", permille);
         }
     }
 

@@ -15,6 +15,7 @@ use crate::plan::{
 };
 use memfs::{FsResult, MemFs, MemFsConfig};
 use netsim::{LinkSpec, RpcProfile};
+use simcore::telemetry;
 use simcore::{DetRng, SimDuration, SimTime};
 
 /// Tunables of the CXFS model.
@@ -131,11 +132,19 @@ impl DistFs for CxfsFs {
         _now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
+        let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.token_caches[client.node].lookup(path) =>
             {
-                return Ok(OpPlan::local(self.config.cached_stat_cpu));
+                telemetry::count("cxfs.token_cache.hit", 1);
+                return Ok(
+                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
+                );
+            }
+            MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
+                telemetry::count("cxfs.token_cache.miss", 1);
+                cache_tag = telemetry::CacheTag::Miss;
             }
             _ => {}
         }
@@ -167,6 +176,7 @@ impl DistFs for CxfsFs {
         self.token_caches[client.node].fill(op.primary_path());
         Ok(OpPlan {
             stages,
+            cache: cache_tag,
             ..Default::default()
         })
     }
@@ -174,6 +184,19 @@ impl DistFs for CxfsFs {
     fn drop_caches(&mut self, node: usize) {
         if let Some(c) = self.token_caches.get_mut(node) {
             c.clear();
+        }
+    }
+
+    fn sample_gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let entries: usize = self.token_caches.iter().map(CallbackCache::len).sum();
+        emit("cxfs.token_cache.entries", entries as u64);
+        let stats = self
+            .token_caches
+            .iter()
+            .map(|c| c.stats())
+            .fold((0u64, 0u64), |acc, s| (acc.0 + s.hits, acc.1 + s.misses));
+        if let Some(permille) = (stats.0 * 1000).checked_div(stats.0 + stats.1) {
+            emit("cxfs.token_cache.hit_permille", permille);
         }
     }
 

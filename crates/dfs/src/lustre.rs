@@ -235,15 +235,19 @@ impl DistFs for LustreFs {
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
         // lock-cached reads are local
+        let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.lock_caches[client.node].lookup(path) =>
             {
                 telemetry::count("lustre.lock_cache.hit", 1);
-                return Ok(OpPlan::local(self.config.cached_stat_cpu));
+                return Ok(
+                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
+                );
             }
             MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
                 telemetry::count("lustre.lock_cache.miss", 1);
+                cache_tag = telemetry::CacheTag::Miss;
             }
             _ => {}
         }
@@ -362,6 +366,7 @@ impl DistFs for LustreFs {
             stages,
             background,
             faults: fstats,
+            cache: cache_tag,
             ..Default::default()
         })
     }
@@ -369,6 +374,19 @@ impl DistFs for LustreFs {
     fn drop_caches(&mut self, node: usize) {
         if let Some(c) = self.lock_caches.get_mut(node) {
             c.clear();
+        }
+    }
+
+    fn sample_gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let entries: usize = self.lock_caches.iter().map(CallbackCache::len).sum();
+        emit("lustre.lock_cache.entries", entries as u64);
+        let stats = self
+            .lock_caches
+            .iter()
+            .map(|c| c.stats())
+            .fold((0u64, 0u64), |acc, s| (acc.0 + s.hits, acc.1 + s.misses));
+        if let Some(permille) = (stats.0 * 1000).checked_div(stats.0 + stats.1) {
+            emit("lustre.lock_cache.hit_permille", permille);
         }
     }
 

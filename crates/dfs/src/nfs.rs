@@ -223,13 +223,17 @@ impl DistFs for NfsFs {
     ) -> FsResult<OpPlan> {
         let cache = &mut self.attr_caches[client.node];
         // Reads that the client may answer locally (close-to-open + TTL).
+        let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path } if cache.lookup(path, now) => {
                 telemetry::count("nfs.attr_cache.hit", 1);
-                return Ok(OpPlan::local(self.config.cached_stat_cpu));
+                return Ok(
+                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
+                );
             }
             MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
                 telemetry::count("nfs.attr_cache.miss", 1);
+                cache_tag = telemetry::CacheTag::Miss;
             }
             _ => {}
         }
@@ -279,6 +283,7 @@ impl DistFs for NfsFs {
         } else {
             self.attr_caches[client.node].fill(op.primary_path(), now);
         }
+        plan.cache = cache_tag;
         Ok(plan)
     }
 
@@ -304,6 +309,20 @@ impl DistFs for NfsFs {
         if let Some(c) = self.attr_caches.get_mut(node) {
             c.clear();
         }
+    }
+
+    fn sample_gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let entries: usize = self.attr_caches.iter().map(AttrCache::len).sum();
+        emit("nfs.attr_cache.entries", entries as u64);
+        let stats = self
+            .attr_caches
+            .iter()
+            .map(|c| c.stats())
+            .fold((0u64, 0u64), |acc, s| (acc.0 + s.hits, acc.1 + s.misses));
+        if let Some(permille) = (stats.0 * 1000).checked_div(stats.0 + stats.1) {
+            emit("nfs.attr_cache.hit_permille", permille);
+        }
+        emit("nfs.dirty_bytes", self.dirty_bytes);
     }
 
     fn name(&self) -> &str {

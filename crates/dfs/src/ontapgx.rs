@@ -225,15 +225,19 @@ impl DistFs for OntapGxFs {
         now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
+        let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path }
                 if self.attr_caches[client.node].lookup(path, now) =>
             {
                 telemetry::count("ontapgx.attr_cache.hit", 1);
-                return Ok(OpPlan::local(self.config.cached_stat_cpu));
+                return Ok(
+                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
+                );
             }
             MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
                 telemetry::count("ontapgx.attr_cache.miss", 1);
+                cache_tag = telemetry::CacheTag::Miss;
             }
             _ => {}
         }
@@ -304,6 +308,7 @@ impl DistFs for OntapGxFs {
         self.attr_caches[client.node].fill(op.primary_path(), now);
         Ok(OpPlan {
             stages,
+            cache: cache_tag,
             ..Default::default()
         })
     }
@@ -312,6 +317,13 @@ impl DistFs for OntapGxFs {
         if let Some(c) = self.attr_caches.get_mut(node) {
             c.clear();
         }
+    }
+
+    fn sample_gauges(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        let entries: usize = self.attr_caches.iter().map(AttrCache::len).sum();
+        emit("ontapgx.attr_cache.entries", entries as u64);
+        emit("ontapgx.forwarded", self.forwarded);
+        emit("ontapgx.local", self.local_hits);
     }
 
     fn name(&self) -> &str {

@@ -8,6 +8,7 @@
 
 use crate::op::MetaOp;
 use memfs::FsResult;
+use simcore::telemetry::CacheTag;
 use simcore::{DetRng, SimDuration, SimTime};
 
 /// Index of a server-side queueing resource declared in [`FsResources`].
@@ -112,6 +113,11 @@ pub struct OpPlan {
     pub pauses: Vec<(ServerId, SimDuration)>,
     /// Fault-recovery accounting (retries, failovers, stall time).
     pub faults: FaultStats,
+    /// Whether a client cache decided the shape of this plan (hit = served
+    /// locally, miss = a lookup that had to go to a server). Feeds the
+    /// per-op causal records so the critical-path analyzer can split
+    /// latency by cache outcome.
+    pub cache: CacheTag,
 }
 
 impl OpPlan {
@@ -121,6 +127,13 @@ impl OpPlan {
             stages: vec![Stage::ClientCpu { demand }],
             ..Default::default()
         }
+    }
+
+    /// Tag the plan with a cache outcome (builder style).
+    #[must_use]
+    pub fn with_cache(mut self, tag: CacheTag) -> Self {
+        self.cache = tag;
+        self
     }
 
     /// Total foreground service demand excluding queueing (useful for
@@ -225,6 +238,13 @@ pub trait DistFs: Send {
 
     /// A background job on `server` completed (e.g. a write-back flush).
     fn on_background_complete(&mut self, _server: ServerId, _now: SimTime) {}
+
+    /// Report model-internal gauges (cache occupancy, hit ratios, dirty
+    /// bytes) at a sampling instant. Called by the engine only while
+    /// telemetry capture is enabled, on the same deterministic sampling
+    /// grid as worker progress samples — implementations must be pure
+    /// observers: no RNG draws, no state mutation.
+    fn sample_gauges(&self, _emit: &mut dyn FnMut(&'static str, u64)) {}
 
     /// Drop all client-side caches on `node` (paper §3.4.3).
     fn drop_caches(&mut self, node: usize);

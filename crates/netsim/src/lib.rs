@@ -111,10 +111,6 @@ impl LinkSpec {
 
     /// Time to move `payload` bytes one way across this link.
     pub fn one_way(&self, payload: u64, rng: &mut DetRng) -> SimDuration {
-        if simcore::telemetry::enabled() {
-            simcore::telemetry::count("net.messages", 1);
-            simcore::telemetry::count("net.bytes", payload);
-        }
         let transmit =
             SimDuration::from_secs_f64(payload as f64 / self.bandwidth_bps.max(1) as f64);
         let latency = if self.jitter > 0.0 {
@@ -122,7 +118,13 @@ impl LinkSpec {
         } else {
             self.latency
         };
-        latency + transmit
+        let total = latency + transmit;
+        if simcore::telemetry::enabled() {
+            simcore::telemetry::count("net.messages", 1);
+            simcore::telemetry::count("net.bytes", payload);
+            simcore::telemetry::observe("net.delay", total);
+        }
+        total
     }
 
     /// This link with a degradation applied: latency multiplied, bandwidth

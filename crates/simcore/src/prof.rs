@@ -1,0 +1,176 @@
+//! Flag-gated wall-clock profiling of the simulator's own hot path.
+//!
+//! The virtual clock tells us where *simulated* time goes; this module tells
+//! us where *host* time goes while simulating — the input ROADMAP item 3
+//! (simulator speed) needs. It is deliberately minimal: named scoped timers
+//! aggregated into a global registry, **off by default**, costing one
+//! relaxed atomic load per call site when disabled.
+//!
+//! Unlike [`telemetry`](crate::telemetry), nothing here is deterministic —
+//! readings are wall-clock and vary run to run — so profiling data never
+//! feeds baselines or traces; it is printed on demand (`dmetabench analyze`
+//! with `DMETABENCH_PROF=1`) and thrown away.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::prof;
+//!
+//! prof::set_enabled(true);
+//! {
+//!     let _t = prof::scope("doctest.work");
+//!     // ... hot code ...
+//! }
+//! prof::set_enabled(false);
+//! let snap = prof::snapshot();
+//! assert!(snap.iter().any(|(name, calls, _)| *name == "doctest.work" && *calls >= 1));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, (u64, u128)>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, (u64, u128)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether profiling is on. One relaxed atomic load — the only cost an
+/// instrumented hot path pays when profiling is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn profiling on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enable profiling if the `DMETABENCH_PROF` environment variable is set to
+/// anything but `0`. Returns the resulting state.
+pub fn init_from_env() -> bool {
+    if std::env::var_os("DMETABENCH_PROF").is_some_and(|v| v != "0") {
+        set_enabled(true);
+    }
+    enabled()
+}
+
+/// A running scoped timer; its `Drop` adds the elapsed wall time to the
+/// global registry under `name`.
+#[must_use = "a profiling scope measures until dropped"]
+#[derive(Debug)]
+pub struct Scope {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        if let Ok(mut reg) = registry().lock() {
+            let e = reg.entry(self.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += elapsed;
+        }
+    }
+}
+
+/// Start a scoped timer under `name`, or `None` when profiling is off.
+/// Bind it (`let _t = prof::scope(...)`) so it measures to the end of the
+/// enclosing block.
+#[inline]
+pub fn scope(name: &'static str) -> Option<Scope> {
+    if !enabled() {
+        return None;
+    }
+    Some(Scope {
+        name,
+        start: Instant::now(),
+    })
+}
+
+/// Current aggregates as `(name, calls, total_ns)`, sorted by name.
+#[must_use]
+pub fn snapshot() -> Vec<(&'static str, u64, u128)> {
+    registry()
+        .lock()
+        .map(|reg| {
+            reg.iter()
+                .map(|(name, &(calls, ns))| (*name, calls, ns))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Clear all aggregates (e.g. between benchmark phases).
+pub fn reset() {
+    if let Ok(mut reg) = registry().lock() {
+        reg.clear();
+    }
+}
+
+/// Human-readable report of the aggregates, sorted by total time
+/// descending. Empty string when nothing was recorded.
+#[must_use]
+pub fn report() -> String {
+    let mut rows = snapshot();
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let mut out = String::from("wall-clock profile (DMETABENCH_PROF):\n");
+    out.push_str("  total_ms     calls  avg_ns  scope\n");
+    for (name, calls, ns) in rows {
+        let avg = if calls == 0 {
+            0
+        } else {
+            ns / u128::from(calls)
+        };
+        out.push_str(&format!(
+            "  {:>8.3}  {:>8}  {:>6}  {}\n",
+            ns as f64 / 1e6,
+            calls,
+            avg,
+            name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_is_none_and_records_nothing() {
+        // default state: off (other tests may toggle; don't assert global)
+        set_enabled(false);
+        assert!(scope("prof.test.disabled").is_none());
+        assert!(!snapshot()
+            .iter()
+            .any(|(name, _, _)| *name == "prof.test.disabled"));
+    }
+
+    #[test]
+    fn enabled_scope_accumulates_calls_and_time() {
+        set_enabled(true);
+        for _ in 0..3 {
+            let _t = scope("prof.test.enabled");
+            std::hint::black_box(());
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let row = snap
+            .iter()
+            .find(|(name, _, _)| *name == "prof.test.enabled")
+            .expect("scope recorded");
+        assert!(row.1 >= 3, "calls: {}", row.1);
+        let rep = report();
+        assert!(rep.contains("prof.test.enabled"), "{rep}");
+    }
+}

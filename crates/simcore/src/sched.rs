@@ -148,6 +148,7 @@ impl<E> Scheduler<E> {
 
     /// Deliver the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let _prof = crate::prof::scope("sched.pop");
         self.skip_cancelled();
         let entry = self.heap.pop()?;
         self.pending.remove(&entry.id);

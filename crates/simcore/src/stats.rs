@@ -215,6 +215,11 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// `true` if no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Mean latency.
     pub fn mean(&self) -> crate::SimDuration {
         self.sum_ns
@@ -233,8 +238,23 @@ impl LatencyHistogram {
         crate::SimDuration::from_nanos(self.sum_ns)
     }
 
-    /// Approximate percentile (`0.0..=1.0`): the upper bound of the bucket
-    /// containing the p-th observation.
+    /// Approximate percentile (`0.0..=1.0`).
+    ///
+    /// # Semantics (pinned by tests)
+    ///
+    /// Bucket `i` holds observations in `[2^(i-1), 2^i)` (bucket 0 holds
+    /// exactly 0 ns; bucket 63 absorbs everything ≥ 2^62 ns). The returned
+    /// value is the **inclusive upper bound** of the bucket containing the
+    /// p-th observation — `2^i − 1` — clamped to the largest observation
+    /// actually recorded ([`max`](LatencyHistogram::max)). Consequences:
+    ///
+    /// * the result *over*-estimates the true percentile by at most 2×
+    ///   (never under-estimates it below the bucket's lower bound),
+    /// * `percentile(1.0)` equals `max()` exactly,
+    /// * an exact power of two `2^k` lands in bucket `k+1`, so its
+    ///   unclamped upper bound is `2^(k+1) − 1`,
+    /// * `percentile(0.0)` behaves like the minimum's bucket (rank is
+    ///   clamped to 1), and an empty histogram returns 0.
     ///
     /// # Panics
     ///
@@ -435,6 +455,36 @@ mod tests {
             // a single observation: its bucket's upper bound clamps to max_ns
             assert_eq!(h.percentile(1.0), SimDuration::from_nanos(ns), "{ns} ns");
         }
+    }
+
+    /// Pins the documented percentile contract at bucket boundaries: the
+    /// result is the containing bucket's inclusive upper bound `2^i − 1`,
+    /// clamped to the recorded maximum.
+    #[test]
+    fn percentile_returns_bucket_upper_bound_clamped_to_max() {
+        use crate::SimDuration;
+        // an exact power of two lands in the *next* bucket: 1024 → bucket 11
+        assert_eq!(LatencyHistogram::bucket_of(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.push(SimDuration::from_nanos(1000)); // bucket 10: [512, 1024)
+        }
+        h.push(SimDuration::from_nanos(100_000)); // bucket 17: [65536, 131072)
+                                                  // p50 sits in bucket 10, whose upper bound is 2^10 − 1 = 1023; the
+                                                  // clamp to max_ns (100 000) does not bite
+        assert_eq!(h.percentile(0.5), SimDuration::from_nanos(1023));
+        // p100 sits in bucket 17 (upper bound 131 071) and clamps to the max
+        assert_eq!(h.percentile(1.0), SimDuration::from_nanos(100_000));
+        assert_eq!(h.percentile(1.0), h.max());
+        // a histogram of one value: every percentile is that value's clamp
+        let mut one = LatencyHistogram::new();
+        one.push(SimDuration::from_nanos(700)); // bucket 10, upper bound 1023
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(p), SimDuration::from_nanos(700), "p={p}");
+        }
+        assert!(!one.is_empty());
+        assert!(LatencyHistogram::new().is_empty());
     }
 
     #[test]

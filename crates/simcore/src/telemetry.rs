@@ -34,7 +34,31 @@
 //! processes and servers get *tids* within the run ([`worker_tid`],
 //! [`server_tid`]) with human-readable `thread_name` metadata. Perfetto and
 //! `chrome://tracing` then show one process group per `run_sim` invocation
-//! with one timeline row per worker/server.
+//! with one timeline row per worker/server. Semaphores ([`sem_tid`]) and the
+//! engine itself ([`ENGINE_TID`]) get further rows when gauges are sampled.
+//!
+//! # Causal model
+//!
+//! On top of the flat event lists the sink records *causality*:
+//!
+//! * **ids + parent links**: spans can carry a capture-unique id
+//!   ([`fresh_id`]) and a parent id ([`span_with_id`]) — e.g. a Lustre
+//!   commit background job points back at the operation that enqueued it,
+//! * **flow events**: a cross-track request edge ([`flow_start`] on the
+//!   client row, [`flow_finish`] on the server row) exported as Chrome
+//!   `ph:"s"`/`ph:"f"` pairs, which Perfetto renders as arrows along the
+//!   RPC chain,
+//! * **gauges**: virtual-time samples of instantaneous state ([`gauge`]:
+//!   queue depths, outstanding RPCs, semaphore waiters, cache occupancy)
+//!   exported as Chrome counter events (`ph:"C"`) and as
+//!   [`TelemetryReport::to_timeseries_json`],
+//! * **op records**: one compact [`OpRecord`] per completed operation with
+//!   its end-to-end latency already bucketed into causal segments
+//!   (client CPU / network / server queueing / server service / lock wait)
+//!   — the input of the critical-path analyzer (`dmetabench analyze`).
+//!
+//! Ids are allocated from a per-sink counter in event order, so they are as
+//! deterministic as the event sequence itself; 0 is the "no id" sentinel.
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -46,6 +70,14 @@ use crate::time::{SimDuration, SimTime};
 /// Thread id of the first server track within a run; workers are
 /// `0..SERVER_TID_BASE`, server `s` is `SERVER_TID_BASE + s`.
 pub const SERVER_TID_BASE: u64 = 1 << 20;
+
+/// Thread id of the first semaphore track within a run (gauge rows for
+/// lock-waiter counts); semaphore `i` is `SEM_TID_BASE + i`.
+pub const SEM_TID_BASE: u64 = 1 << 21;
+
+/// Thread id of the engine's own gauge track within a run (outstanding
+/// RPCs, model-level cache gauges).
+pub const ENGINE_TID: u64 = 1 << 22;
 
 /// Track id for a worker (node-local process) within a run.
 #[inline]
@@ -61,6 +93,13 @@ pub fn server_tid(server: usize) -> u64 {
     SERVER_TID_BASE + server as u64
 }
 
+/// Track id for a semaphore resource within a run.
+#[inline]
+#[must_use]
+pub fn sem_tid(sem: usize) -> u64 {
+    SEM_TID_BASE + sem as u64
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SpanEvent {
     pid: u32,
@@ -69,6 +108,100 @@ struct SpanEvent {
     cat: &'static str,
     start_ns: u64,
     dur_ns: u64,
+    /// Capture-unique causal id (0 = none).
+    id: u64,
+    /// Causal parent span id (0 = none).
+    parent: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FlowEvent {
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    ts_ns: u64,
+    id: u64,
+    /// `true` = flow start (`ph:"s"`), `false` = flow finish (`ph:"f"`).
+    start: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GaugeEvent {
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    ts_ns: u64,
+    value: u64,
+}
+
+/// Cache outcome of one operation, threaded from the file-system model's
+/// plan into the per-op record so the analyzer can separate hit/miss
+/// populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheTag {
+    /// The operation did not consult a client cache (or the model does not
+    /// tag it).
+    #[default]
+    Untagged,
+    /// Answered from a client-side cache (attribute / callback / lock).
+    Hit,
+    /// Consulted a client-side cache and missed — the remote path taken is
+    /// the miss penalty.
+    Miss,
+}
+
+impl CacheTag {
+    /// Stable lowercase label used in JSON exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheTag::Untagged => "untagged",
+            CacheTag::Hit => "hit",
+            CacheTag::Miss => "miss",
+        }
+    }
+}
+
+/// One completed operation with its end-to-end latency attributed to causal
+/// segments. Invariant maintained by the engine: the segments sum exactly
+/// to `dur_ns` (the virtual clock never advances outside a stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Trace process of the run.
+    pub pid: u32,
+    /// Worker track the operation ran on.
+    pub tid: u64,
+    /// Operation label (`"create"`, `"stat"`, …).
+    pub name: &'static str,
+    /// Causal id of the op span (0 when ids were not allocated).
+    pub id: u64,
+    /// Virtual start time.
+    pub start_ns: u64,
+    /// End-to-end latency.
+    pub dur_ns: u64,
+    /// Client CPU time (ClientCpu stages, incl. processor-sharing delay).
+    pub client_ns: u64,
+    /// Network time (NetDelay stages, incl. retry/failover backoff).
+    pub network_ns: u64,
+    /// Server queueing time (waiting for a service slot, incl. pause
+    /// windows such as write-back consistency points).
+    pub queue_ns: u64,
+    /// Server service time (the demand actually served).
+    pub service_ns: u64,
+    /// Lock wait (blocked semaphore acquisitions).
+    pub lock_ns: u64,
+    /// Cache outcome of the operation.
+    pub cache: CacheTag,
+}
+
+impl OpRecord {
+    /// Sum of all attributed segments; equals `dur_ns` for engine-emitted
+    /// records.
+    #[must_use]
+    pub fn segment_sum_ns(&self) -> u64 {
+        self.client_ns + self.network_ns + self.queue_ns + self.service_ns + self.lock_ns
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,10 +229,14 @@ struct ThreadMeta {
 #[derive(Debug, Default, Clone, PartialEq)]
 struct Sink {
     next_pid: u32,
+    next_id: u64,
     processes: Vec<ProcessMeta>,
     threads: Vec<ThreadMeta>,
     spans: Vec<SpanEvent>,
     instants: Vec<InstantEvent>,
+    flows: Vec<FlowEvent>,
+    gauges: Vec<GaugeEvent>,
+    ops: Vec<OpRecord>,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, LatencyHistogram>,
 }
@@ -191,6 +328,24 @@ pub fn name_track(pid: u32, tid: u64, name: &str) {
     });
 }
 
+/// Allocate a fresh causal id, unique within the current capture.
+///
+/// Ids are handed out from a per-sink counter in call order, so they are as
+/// deterministic as the caller's event sequence. Returns 0 — the "no id"
+/// sentinel — when telemetry is disabled.
+#[must_use]
+pub fn fresh_id() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let mut id = 0;
+    with_sink(|sink| {
+        sink.next_id += 1;
+        id = sink.next_id;
+    });
+    id
+}
+
 /// Record a completed span `[start, end]` on a track.
 pub fn span(
     pid: u32,
@@ -199,6 +354,24 @@ pub fn span(
     cat: &'static str,
     start: SimTime,
     end: SimTime,
+) {
+    span_with_id(pid, tid, name, cat, start, end, 0, 0);
+}
+
+/// Record a completed span with a causal id and parent link (0 = none).
+///
+/// The id/parent pair is exported in the span's `args` so trace consumers
+/// can reassemble the causal graph; [`span`] is the id-less shorthand.
+#[allow(clippy::too_many_arguments)]
+pub fn span_with_id(
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    start: SimTime,
+    end: SimTime,
+    id: u64,
+    parent: u64,
 ) {
     if !enabled() {
         return;
@@ -211,8 +384,81 @@ pub fn span(
             cat,
             start_ns: start.as_nanos(),
             dur_ns: end.saturating_since(start).as_nanos(),
+            id,
+            parent,
         });
     });
+}
+
+/// Record the start of a cross-track flow (Chrome `ph:"s"`) — e.g. an RPC
+/// leaving the client. Pair it with a [`flow_finish`] carrying the same
+/// `id` (obtain one from [`fresh_id`]).
+pub fn flow_start(pid: u32, tid: u64, name: &'static str, cat: &'static str, ts: SimTime, id: u64) {
+    push_flow(pid, tid, name, cat, ts, id, true);
+}
+
+/// Record the end of a cross-track flow (Chrome `ph:"f"`, binding to the
+/// enclosing slice) — e.g. the RPC completing on the server.
+pub fn flow_finish(
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    ts: SimTime,
+    id: u64,
+) {
+    push_flow(pid, tid, name, cat, ts, id, false);
+}
+
+fn push_flow(
+    pid: u32,
+    tid: u64,
+    name: &'static str,
+    cat: &'static str,
+    ts: SimTime,
+    id: u64,
+    start: bool,
+) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        sink.flows.push(FlowEvent {
+            pid,
+            tid,
+            name,
+            cat,
+            ts_ns: ts.as_nanos(),
+            id,
+            start,
+        });
+    });
+}
+
+/// Record one virtual-time sample of an instantaneous quantity (queue
+/// depth, waiters, cache occupancy). Exported as Chrome counter events and
+/// via [`TelemetryReport::to_timeseries_json`].
+pub fn gauge(pid: u32, tid: u64, name: &'static str, ts: SimTime, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| {
+        sink.gauges.push(GaugeEvent {
+            pid,
+            tid,
+            name,
+            ts_ns: ts.as_nanos(),
+            value,
+        });
+    });
+}
+
+/// Record one completed operation's causal segment breakdown.
+pub fn op_record(rec: OpRecord) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| sink.ops.push(rec));
 }
 
 /// Record a point event on a track.
@@ -267,8 +513,50 @@ impl TelemetryReport {
     pub fn is_empty(&self) -> bool {
         self.sink.spans.is_empty()
             && self.sink.instants.is_empty()
+            && self.sink.flows.is_empty()
+            && self.sink.gauges.is_empty()
+            && self.sink.ops.is_empty()
             && self.sink.counters.is_empty()
             && self.sink.histograms.is_empty()
+    }
+
+    /// All per-operation causal records, in completion order.
+    #[must_use]
+    pub fn op_records(&self) -> &[OpRecord] {
+        &self.sink.ops
+    }
+
+    /// Number of gauge samples recorded.
+    #[must_use]
+    pub fn gauge_count(&self) -> usize {
+        self.sink.gauges.len()
+    }
+
+    /// Number of flow events recorded as `(starts, finishes)`.
+    #[must_use]
+    pub fn flow_counts(&self) -> (usize, usize) {
+        let starts = self.sink.flows.iter().filter(|f| f.start).count();
+        (starts, self.sink.flows.len() - starts)
+    }
+
+    /// Display name of a trace process (a [`begin_run`] invocation).
+    #[must_use]
+    pub fn process_name(&self, pid: u32) -> Option<&str> {
+        self.sink
+            .processes
+            .iter()
+            .find(|p| p.pid == pid)
+            .map(|p| p.name.as_str())
+    }
+
+    /// Display name of a `(pid, tid)` track, if one was attached.
+    #[must_use]
+    pub fn track_name(&self, pid: u32, tid: u64) -> Option<&str> {
+        self.sink
+            .threads
+            .iter()
+            .find(|t| t.pid == pid && t.tid == tid)
+            .map(|t| t.name.as_str())
     }
 
     /// Value of a counter (0 if never incremented).
@@ -309,6 +597,11 @@ impl TelemetryReport {
     pub fn merge(&mut self, other: &TelemetryReport) {
         let pid_base = self.sink.next_pid;
         self.sink.next_pid += other.sink.next_pid;
+        // causal ids are renumbered exactly like pids so merged reports stay
+        // collision-free (0 stays 0 — the "no id" sentinel)
+        let id_base = self.sink.next_id;
+        self.sink.next_id += other.sink.next_id;
+        let shift = |id: u64| if id == 0 { 0 } else { id + id_base };
         for p in &other.sink.processes {
             self.sink.processes.push(ProcessMeta {
                 pid: p.pid + pid_base,
@@ -325,12 +618,31 @@ impl TelemetryReport {
         for s in &other.sink.spans {
             let mut s = s.clone();
             s.pid += pid_base;
+            s.id = shift(s.id);
+            s.parent = shift(s.parent);
             self.sink.spans.push(s);
         }
         for i in &other.sink.instants {
             let mut i = i.clone();
             i.pid += pid_base;
             self.sink.instants.push(i);
+        }
+        for f in &other.sink.flows {
+            let mut f = f.clone();
+            f.pid += pid_base;
+            f.id = shift(f.id);
+            self.sink.flows.push(f);
+        }
+        for g in &other.sink.gauges {
+            let mut g = g.clone();
+            g.pid += pid_base;
+            self.sink.gauges.push(g);
+        }
+        for o in &other.sink.ops {
+            let mut o = *o;
+            o.pid += pid_base;
+            o.id = shift(o.id);
+            self.sink.ops.push(o);
         }
         for (name, v) in &other.sink.counters {
             *self.sink.counters.entry(name).or_insert(0) += v;
@@ -381,7 +693,7 @@ impl TelemetryReport {
             sep(&mut out);
             let _ = write!(
                 out,
-                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"{}\"}}",
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"{}\"",
                 s.pid,
                 s.tid,
                 Us(s.start_ns),
@@ -389,6 +701,19 @@ impl TelemetryReport {
                 escape(s.name),
                 escape(s.cat)
             );
+            match (s.id, s.parent) {
+                (0, 0) => {}
+                (id, 0) => {
+                    let _ = write!(out, ",\"args\":{{\"id\":{id}}}");
+                }
+                (0, parent) => {
+                    let _ = write!(out, ",\"args\":{{\"parent\":{parent}}}");
+                }
+                (id, parent) => {
+                    let _ = write!(out, ",\"args\":{{\"id\":{id},\"parent\":{parent}}}");
+                }
+            }
+            out.push('}');
         }
         for i in &self.sink.instants {
             sep(&mut out);
@@ -402,8 +727,80 @@ impl TelemetryReport {
                 escape(i.cat)
             );
         }
+        for f in &self.sink.flows {
+            sep(&mut out);
+            // `bp:"e"` binds the finish to its enclosing slice, which is what
+            // makes Perfetto draw the arrow onto the server-side span.
+            let bp = if f.start { "" } else { "\"bp\":\"e\"," };
+            let ph = if f.start { 's' } else { 'f' };
+            let _ = write!(
+                out,
+                "{{\"ph\":\"{ph}\",{bp}\"pid\":{},\"tid\":{},\"ts\":{},\"id\":{},\"name\":\"{}\",\"cat\":\"{}\"}}",
+                f.pid,
+                f.tid,
+                Us(f.ts_ns),
+                f.id,
+                escape(f.name),
+                escape(f.cat)
+            );
+        }
+        let tracks = self.track_labels();
+        for g in &self.sink.gauges {
+            sep(&mut out);
+            // counter tracks are keyed by (pid, name) in trace viewers, so
+            // the resolved track label is folded into the counter name
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"name\":\"{} {}\",\"args\":{{\"value\":{}}}}}",
+                g.pid,
+                Us(g.ts_ns),
+                escape(&tracks.label(g.pid, g.tid)),
+                escape(g.name),
+                g.value
+            );
+        }
         out.push_str("\n]}\n");
         out
+    }
+
+    /// Serialize the gauge samples as a compact, integer-only timeseries
+    /// JSON (schema `dmetabench.timeseries/v1`): one series per
+    /// process/track/gauge, each a list of `[ts_ns, value]` points in
+    /// sample order. Byte-deterministic like the other exports.
+    #[must_use]
+    pub fn to_timeseries_json(&self) -> String {
+        let tracks = self.track_labels();
+        let mut series: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+        for g in &self.sink.gauges {
+            let process = self.process_name(g.pid).unwrap_or("run");
+            let key = format!("{}/{}/{}", process, tracks.label(g.pid, g.tid), g.name);
+            series.entry(key).or_default().push((g.ts_ns, g.value));
+        }
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"dmetabench.timeseries/v1\",\n  \"series\": {");
+        write_map(&mut out, series.iter(), |out, (key, points)| {
+            let _ = write!(out, "\"{}\": [", escape(key));
+            for (i, (ts, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{ts},{v}]");
+            }
+            out.push(']');
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    fn track_labels(&self) -> TrackLabels<'_> {
+        TrackLabels {
+            map: self
+                .sink
+                .threads
+                .iter()
+                .map(|t| ((t.pid, t.tid), t.name.as_str()))
+                .collect(),
+        }
     }
 
     /// Serialize the compact metrics summary: counters, per-name span
@@ -455,6 +852,21 @@ impl TelemetryReport {
         });
         out.push_str("}\n}\n");
         out
+    }
+}
+
+/// Lookup table from `(pid, tid)` to the human-readable track name, built
+/// once per export.
+struct TrackLabels<'a> {
+    map: std::collections::HashMap<(u32, u64), &'a str>,
+}
+
+impl TrackLabels<'_> {
+    fn label(&self, pid: u32, tid: u64) -> std::borrow::Cow<'_, str> {
+        match self.map.get(&(pid, tid)) {
+            Some(n) => std::borrow::Cow::Borrowed(n),
+            None => std::borrow::Cow::Owned(format!("tid{tid}")),
+        }
     }
 }
 
@@ -659,5 +1071,196 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fresh_id_is_zero_when_disabled_and_sequential_when_enabled() {
+        assert_eq!(fresh_id(), 0);
+        let ((a, b), _) = capture(|| (fresh_id(), fresh_id()));
+        assert_eq!((a, b), (1, 2));
+        // a fresh capture restarts the counter — ids are per-sink
+        let (c, _) = capture(fresh_id);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn flows_gauges_and_ids_export_to_chrome_trace() {
+        let run = || {
+            capture(|| {
+                let pid = begin_run("m");
+                name_track(pid, worker_tid(0), "w0");
+                name_track(pid, server_tid(0), "mds");
+                let op = fresh_id();
+                let rpc = fresh_id();
+                span_with_id(
+                    pid,
+                    worker_tid(0),
+                    "create",
+                    "op",
+                    SimTime::ZERO,
+                    SimTime::from_micros(10),
+                    op,
+                    0,
+                );
+                flow_start(
+                    pid,
+                    worker_tid(0),
+                    "rpc",
+                    "rpc",
+                    SimTime::from_micros(1),
+                    rpc,
+                );
+                flow_finish(
+                    pid,
+                    server_tid(0),
+                    "rpc",
+                    "rpc",
+                    SimTime::from_micros(9),
+                    rpc,
+                );
+                span_with_id(
+                    pid,
+                    server_tid(0),
+                    "rpc",
+                    "rpc",
+                    SimTime::from_micros(1),
+                    SimTime::from_micros(9),
+                    rpc,
+                    op,
+                );
+                gauge(
+                    pid,
+                    server_tid(0),
+                    "queue_depth",
+                    SimTime::from_micros(5),
+                    3,
+                );
+            })
+            .1
+        };
+        let a = run().to_chrome_trace_json();
+        assert_eq!(a, run().to_chrome_trace_json(), "byte-deterministic");
+        assert!(a.contains("\"ph\":\"s\""), "flow start: {a}");
+        assert!(a.contains("\"ph\":\"f\",\"bp\":\"e\""), "bound flow finish");
+        assert!(a.contains("\"args\":{\"id\":1}"), "op span id");
+        assert!(a.contains("\"args\":{\"id\":2,\"parent\":1}"), "rpc parent");
+        assert!(a.contains("\"ph\":\"C\""), "counter event");
+        assert!(
+            a.contains("\"name\":\"mds queue_depth\""),
+            "gauge track label"
+        );
+        assert!(!a.contains(",]") && !a.contains(",}"));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        let report = run();
+        assert_eq!(report.flow_counts(), (1, 1));
+        assert_eq!(report.gauge_count(), 1);
+        assert_eq!(report.track_name(1, server_tid(0)), Some("mds"));
+    }
+
+    #[test]
+    fn timeseries_json_groups_series_and_is_deterministic() {
+        let run = || {
+            capture(|| {
+                let pid = begin_run("lustre");
+                name_track(pid, server_tid(0), "mds");
+                for i in 0..3u64 {
+                    gauge(
+                        pid,
+                        server_tid(0),
+                        "queue_depth",
+                        SimTime::from_micros(i * 100),
+                        i,
+                    );
+                }
+                gauge(
+                    pid,
+                    ENGINE_TID,
+                    "rpcs_outstanding",
+                    SimTime::from_micros(50),
+                    7,
+                );
+            })
+            .1
+        };
+        let a = run().to_timeseries_json();
+        assert_eq!(a, run().to_timeseries_json());
+        assert!(a.contains("\"schema\": \"dmetabench.timeseries/v1\""));
+        assert!(
+            a.contains("\"lustre/mds/queue_depth\": [[0,0],[100000,1],[200000,2]]"),
+            "{a}"
+        );
+        assert!(a.contains("\"lustre/tid4194304/rpcs_outstanding\": [[50000,7]]"));
+    }
+
+    #[test]
+    fn op_records_are_stored_and_merged_with_renumbered_ids() {
+        let rec = |pid, id| OpRecord {
+            pid,
+            tid: 0,
+            name: "create",
+            id,
+            start_ns: 0,
+            dur_ns: 100,
+            client_ns: 10,
+            network_ns: 40,
+            queue_ns: 25,
+            service_ns: 20,
+            lock_ns: 5,
+            cache: CacheTag::Miss,
+        };
+        let a = capture(|| {
+            let pid = begin_run("a");
+            let id = fresh_id();
+            op_record(rec(pid, id));
+        })
+        .1;
+        let b = capture(|| {
+            let pid = begin_run("b");
+            let id = fresh_id();
+            flow_start(pid, 0, "rpc", "rpc", SimTime::ZERO, id);
+            flow_finish(pid, 0, "rpc", "rpc", SimTime::ZERO, id);
+            op_record(rec(pid, id));
+        })
+        .1;
+        assert_eq!(a.op_records().len(), 1);
+        assert_eq!(a.op_records()[0].segment_sum_ns(), 100);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.op_records().len(), 2);
+        assert_eq!(m.op_records()[0].id, 1);
+        assert_eq!(m.op_records()[1].id, 2, "merged ids renumbered");
+        assert_eq!(m.op_records()[1].pid, 2, "merged pids renumbered");
+        assert_eq!(m.flow_counts(), (1, 1));
+        // renumbered flow id matches the renumbered op id
+        let trace = m.to_chrome_trace_json();
+        assert!(trace.contains("\"ph\":\"s\",\"pid\":2,\"tid\":0,\"ts\":0.000,\"id\":2"));
+    }
+
+    #[test]
+    fn hostile_track_names_escape_in_all_exports() {
+        let report = capture(|| {
+            let pid = begin_run("run \"quoted\"\\back\nline");
+            name_track(pid, worker_tid(0), "w\t0\u{1}");
+            gauge(pid, worker_tid(0), "queue_depth", SimTime::ZERO, 1);
+            span(
+                pid,
+                worker_tid(0),
+                "op",
+                "op",
+                SimTime::ZERO,
+                SimTime::from_nanos(10),
+            );
+        })
+        .1;
+        for json in [
+            report.to_chrome_trace_json(),
+            report.to_metrics_json(),
+            report.to_timeseries_json(),
+        ] {
+            assert!(!json.contains('\u{1}'), "raw control char leaked: {json}");
+            assert!(!json.contains("run \"quoted\""), "unescaped quote: {json}");
+        }
+        let ts = report.to_timeseries_json();
+        assert!(ts.contains("run \\\"quoted\\\"\\\\back\\nline/w\\t0\\u0001/queue_depth"));
     }
 }
