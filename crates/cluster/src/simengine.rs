@@ -12,8 +12,6 @@
 //! model compiles. Disturbances (CPU hogs, server pauses for snapshots,
 //! competing sequential writes — Figs. 4.4–4.7) are injected here.
 
-use std::collections::HashMap;
-
 use dfs::{BackgroundJob, ClientCtx, DistFs, MetaOp, OpPlan, Stage};
 use simcore::{
     prof, telemetry, DetRng, FifoResource, JobId, LatencyHistogram, PsResource, Scheduler,
@@ -235,6 +233,44 @@ impl SimRunResult {
 const BG_BASE: u64 = 1 << 40;
 const HOG_BASE: u64 = 1 << 41;
 
+/// Background jobs in flight, slab-allocated: job ids are `BG_BASE + slot`
+/// and slots are recycled as soon as the job's (exactly-once) `ServerDone`
+/// completion removes it. Replaces a `HashMap<u64, _>` so steady-state
+/// background churn neither hashes nor allocates. Id reuse is safe because
+/// background ids only identify FIFO-queue entries (queue order, not id
+/// order, decides service) and at most one live job holds a slot at a time.
+#[derive(Default)]
+struct BgJobs {
+    slots: Vec<Option<(BackgroundJob, SimTime, u64)>>,
+    free: Vec<u32>,
+}
+
+impl BgJobs {
+    fn insert(&mut self, job: BackgroundJob, arrived: SimTime, parent: u64) -> JobId {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some((job, arrived, parent));
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("background slab overflow");
+                self.slots.push(Some((job, arrived, parent)));
+                idx
+            }
+        };
+        JobId(BG_BASE + u64::from(idx))
+    }
+
+    fn remove(&mut self, id: u64) -> Option<(BackgroundJob, SimTime, u64)> {
+        let idx = (id - BG_BASE) as usize;
+        let entry = self.slots.get_mut(idx)?.take();
+        if entry.is_some() {
+            self.free.push(idx as u32);
+        }
+        entry
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     StageCompleted {
@@ -282,7 +318,13 @@ struct SegAcc {
 
 struct WState {
     spec: WorkerSpec,
-    plan: Option<OpPlan>,
+    /// Pooled plan buffer, refilled in place by `DistFs::plan_into` for
+    /// every operation (meaningful only while `active`). Its stage /
+    /// background / pause vectors keep their capacity across ops, so
+    /// steady-state planning performs zero allocations.
+    plan: OpPlan,
+    /// Whether `plan` describes an operation currently in flight.
+    active: bool,
     stage: usize,
     ops_done: u64,
     errors: u64,
@@ -388,16 +430,22 @@ pub fn run_sim(
     let mut sched: Scheduler<Ev> = Scheduler::new();
     let deadline = config.duration.map(|d| SimTime::ZERO + d);
 
+    // Pre-size each worker's sample log: for duration-bounded runs the
+    // sample count is known exactly; otherwise start with a page's worth.
+    let sample_cap = config.duration.map_or(64, |d| {
+        (d.as_nanos() / config.sample_interval.as_nanos().max(1) + 2) as usize
+    });
     let mut states: Vec<WState> = workers
         .iter()
         .map(|spec| WState {
             spec: spec.clone(),
-            plan: None,
+            plan: OpPlan::default(),
+            active: false,
             stage: 0,
             ops_done: 0,
             errors: 0,
             finished_at: None,
-            samples: Vec::new(),
+            samples: Vec::with_capacity(sample_cap),
             op_started: SimTime::ZERO,
             latency: LatencyHistogram::new(),
             retries: 0,
@@ -411,9 +459,8 @@ pub fn run_sim(
             rpc_flow: None,
         })
         .collect();
-    // background jobs in flight: id → (job, arrival, causal parent op id)
-    let mut bg_jobs: HashMap<u64, (BackgroundJob, SimTime, u64)> = HashMap::new();
-    let mut next_bg: u64 = BG_BASE;
+    // background jobs in flight: slab of (job, arrival, causal parent op id)
+    let mut bg = BgJobs::default();
     let mut unfinished = states.len();
 
     // prime disturbances
@@ -510,8 +557,7 @@ pub fn run_sim(
         streams: &mut [Box<dyn OpStream>],
         sched: &mut Scheduler<Ev>,
         servers: &mut [FifoResource],
-        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime, u64)>,
-        next_bg: &mut u64,
+        bg: &mut BgJobs,
         rng: &mut DetRng,
         deadline: Option<SimTime>,
         unfinished: &mut usize,
@@ -533,19 +579,19 @@ pub fn run_sim(
                 node: st.spec.node,
                 proc: st.spec.proc,
             };
-            match model.plan(client, &op, now, rng) {
-                Ok(plan) => {
-                    states[w].op_started = now;
-                    states[w].op_name = op_label(&op);
-                    states[w].op_id = telemetry::fresh_id();
-                    states[w].stage_entered = now;
-                    states[w].seg = SegAcc::default();
-                    states[w].cache = plan.cache;
-                    states[w].rpc_flow = None;
-                    let f = plan.faults;
+            match model.plan_into(client, &op, now, rng, &mut st.plan) {
+                Ok(()) => {
+                    st.op_started = now;
+                    st.op_name = op_label(&op);
+                    st.op_id = telemetry::fresh_id();
+                    st.stage_entered = now;
+                    st.seg = SegAcc::default();
+                    st.cache = st.plan.cache;
+                    st.rpc_flow = None;
+                    let f = st.plan.faults;
                     if f.injected > 0 || f.retries > 0 || f.failovers > 0 {
-                        states[w].retries += u64::from(f.retries);
-                        states[w].failovers += u64::from(f.failovers);
+                        st.retries += u64::from(f.retries);
+                        st.failovers += u64::from(f.failovers);
                         if telemetry::enabled() {
                             let tid = telemetry::worker_tid(w);
                             if f.injected > 0 {
@@ -569,22 +615,19 @@ pub fn run_sim(
                             }
                         }
                     }
-                    for &(server, dur) in &plan.pauses {
+                    for &(server, dur) in &st.plan.pauses {
                         apply_pause(sched, servers, server.0, dur, now, pid, "consistency-point");
                     }
-                    for job in &plan.background {
-                        let id = JobId(*next_bg);
-                        *next_bg += 1;
-                        bg_jobs.insert(id.0, (*job, now, states[w].op_id));
+                    for job in &st.plan.background {
+                        let id = bg.insert(*job, now, st.op_id);
                         server_arrive(sched, servers, job.server.0, id, job.demand, now);
                     }
-                    let st = &mut states[w];
-                    st.plan = Some(plan);
+                    st.active = true;
                     st.stage = 0;
                     return true;
                 }
                 Err(_) => {
-                    states[w].errors += 1;
+                    st.errors += 1;
                     // skip to the next operation; charge nothing
                     continue;
                 }
@@ -602,14 +645,14 @@ pub fn run_sim(
     // the server-side `rpc` span.
     fn attribute_stage(w: usize, states: &mut [WState], now: SimTime, pid: u32) {
         let st = &mut states[w];
-        let Some(plan) = st.plan.as_ref() else {
+        if !st.active {
             return;
-        };
-        let Some(stage) = plan.stages.get(st.stage) else {
+        }
+        let Some(&stage) = st.plan.stages.get(st.stage) else {
             return;
         };
         let elapsed = now.saturating_since(st.stage_entered).as_nanos();
-        match *stage {
+        match stage {
             Stage::ClientCpu { .. } => st.seg.client_ns += elapsed,
             Stage::NetDelay { .. } => st.seg.network_ns += elapsed,
             Stage::Server { server, demand } => {
@@ -657,8 +700,7 @@ pub fn run_sim(
         cpus: &mut [PsResource],
         servers: &mut [FifoResource],
         sems: &mut [Semaphore],
-        bg_jobs: &mut HashMap<u64, (BackgroundJob, SimTime, u64)>,
-        next_bg: &mut u64,
+        bg: &mut BgJobs,
         rng: &mut DetRng,
         deadline: Option<SimTime>,
         unfinished: &mut usize,
@@ -679,8 +721,8 @@ pub fn run_sim(
             }
             let op_complete = {
                 let st = &states[w];
-                let plan = st.plan.as_ref().expect("advance() with no active plan");
-                st.stage >= plan.stages.len()
+                debug_assert!(st.active, "advance() with no active plan");
+                st.stage >= st.plan.stages.len()
             };
             if op_complete {
                 let st = &mut states[w];
@@ -712,10 +754,9 @@ pub fn run_sim(
                     lock_ns: st.seg.lock_ns,
                     cache: st.cache,
                 });
-                st.plan = None;
+                st.active = false;
                 if !start_op(
-                    w, model, states, streams, sched, servers, bg_jobs, next_bg, rng, deadline,
-                    unfinished, pid,
+                    w, model, states, streams, sched, servers, bg, rng, deadline, unfinished, pid,
                 ) {
                     return;
                 }
@@ -723,10 +764,7 @@ pub fn run_sim(
             }
             let (stage, node) = {
                 let st = &states[w];
-                (
-                    st.plan.as_ref().expect("checked above").stages[st.stage],
-                    st.spec.node,
-                )
+                (st.plan.stages[st.stage], st.spec.node)
             };
             match stage {
                 Stage::ClientCpu { demand } => {
@@ -785,8 +823,7 @@ pub fn run_sim(
             &mut streams,
             &mut sched,
             &mut servers,
-            &mut bg_jobs,
-            &mut next_bg,
+            &mut bg,
             &mut rng,
             deadline,
             &mut unfinished,
@@ -801,8 +838,7 @@ pub fn run_sim(
                 &mut cpus,
                 &mut servers,
                 &mut sems,
-                &mut bg_jobs,
-                &mut next_bg,
+                &mut bg,
                 &mut rng,
                 deadline,
                 &mut unfinished,
@@ -846,8 +882,7 @@ pub fn run_sim(
                     &mut cpus,
                     &mut servers,
                     &mut sems,
-                    &mut bg_jobs,
-                    &mut next_bg,
+                    &mut bg,
                     &mut rng,
                     deadline,
                     &mut unfinished,
@@ -874,19 +909,19 @@ pub fn run_sim(
                 }
                 if job.0 >= BG_BASE && job.0 < HOG_BASE {
                     // background job finished
-                    if let Some((bg, arrived, parent)) = bg_jobs.remove(&job.0) {
+                    if let Some((done, arrived, parent)) = bg.remove(job.0) {
                         telemetry::span_with_id(
                             pid,
-                            telemetry::server_tid(bg.server.0),
-                            bg.label.unwrap_or("background"),
+                            telemetry::server_tid(done.server.0),
+                            done.label.unwrap_or("background"),
                             "bg",
                             arrived,
                             now,
                             0,
                             parent,
                         );
-                        model.on_background_complete(bg.server, now);
-                        if let Some(sem) = bg.release_sem {
+                        model.on_background_complete(done.server, now);
+                        if let Some(sem) = done.release_sem {
                             if let Some(granted) = sems[sem.0].release() {
                                 sched.schedule_at(now, Ev::StageCompleted { job: granted });
                             }
@@ -936,9 +971,11 @@ pub fn run_sim(
                         .iter()
                         .filter(|st| {
                             st.finished_at.is_none()
-                                && st.plan.as_ref().is_some_and(|p| {
-                                    matches!(p.stages.get(st.stage), Some(Stage::Server { .. }))
-                                })
+                                && st.active
+                                && matches!(
+                                    st.plan.stages.get(st.stage),
+                                    Some(Stage::Server { .. })
+                                )
                         })
                         .count();
                     telemetry::gauge(
@@ -1004,20 +1041,15 @@ pub fn run_sim(
                     interval,
                     ..
                 } => {
-                    let id = JobId(next_bg);
-                    next_bg += 1;
-                    bg_jobs.insert(
-                        id.0,
-                        (
-                            BackgroundJob {
-                                server: dfs::ServerId(*server),
-                                demand: *demand,
-                                release_sem: None,
-                                label: Some("server-load"),
-                            },
-                            now,
-                            0, // a disturbance has no causal parent op
-                        ),
+                    let id = bg.insert(
+                        BackgroundJob {
+                            server: dfs::ServerId(*server),
+                            demand: *demand,
+                            release_sem: None,
+                            label: Some("server-load"),
+                        },
+                        now,
+                        0, // a disturbance has no causal parent op
                     );
                     server_arrive(&mut sched, &mut servers, *server, id, *demand, now);
                     if now + *interval < *end && unfinished > 0 {

@@ -13,13 +13,28 @@
 //!   subsystem directly. `snapshot_churn` is checkpoint/snapshot-heavy
 //!   (it exercises the consistency-point image capture path, paper §4.8);
 //!   `create_churn` is the identical metadata workload *without* any
-//!   checkpoints, serving as the regression control.
+//!   checkpoints, serving as the regression control; `sim_hotpath` is pure
+//!   discrete-event scheduler churn (no file-system work at all) — the
+//!   yardstick for the event-loop hot path; `stress_grid` is a
+//!   Task-Bench-style parameterized sweep of workers × servers × op-mix
+//!   over a fixed synthetic substrate, exercising the whole engine
+//!   (scheduler + resources + telemetry-off fast path) without any
+//!   file-system semantics.
 //! * any registered **suite** scenario by id (`exp_4_8_writeback`, …),
 //!   timed end to end.
+//!
+//! [`compare`] diffs two emitted `BENCH_*.json` files (median deltas with a
+//! regression threshold) — the repo's committed BENCH files are the
+//! reference side.
 
 use crate::suite;
-use memfs::{MemFs, OpenFlags, Vfs};
+use cluster::{run_sim, SimConfig, WorkerSpec};
+use dfs::{
+    ClientCtx, DistFs, FsResources, MetaOp, OpPlan, SemId, SemSpec, ServerId, ServerSpec, Stage,
+};
+use memfs::{FsResult, MemFs, OpenFlags, Vfs};
 use serde::{Deserialize, Serialize};
+use simcore::{DetRng, EventId, Scheduler, SimDuration, SimTime};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -95,7 +110,12 @@ pub struct BenchReport {
 
 /// Ids of the built-in micro workloads.
 pub fn micro_ids() -> &'static [&'static str] {
-    &["snapshot_churn", "create_churn"]
+    &[
+        "snapshot_churn",
+        "create_churn",
+        "sim_hotpath",
+        "stress_grid",
+    ]
 }
 
 /// Geometry of the churn workloads.
@@ -185,6 +205,238 @@ fn run_churn(quick: bool, snapshots: bool) -> u64 {
     ops
 }
 
+/// Geometry of the `sim_hotpath` micro.
+struct HotpathGeometry {
+    /// Steady-state pending-event population.
+    population: usize,
+    /// Events delivered by the timed loop.
+    deliveries: u64,
+}
+
+impl HotpathGeometry {
+    fn new(quick: bool) -> Self {
+        if quick {
+            HotpathGeometry {
+                population: 4_096,
+                deliveries: 200_000,
+            }
+        } else {
+            HotpathGeometry {
+                population: 65_536,
+                deliveries: 2_000_000,
+            }
+        }
+    }
+}
+
+/// Pure scheduler churn: no file-system work, no telemetry, no engine — just
+/// schedule / pop / cancel at a steady pending population, the raw event-loop
+/// hot path. Deltas span sub-microsecond to ~1 ms (several timer-wheel
+/// levels), every 16th delivery schedules a same-instant event (FIFO path),
+/// and every 8th delivery schedules a far-out "victim" that is cancelled once
+/// a small ring wraps (tombstone + slot-reuse path). Returns the number of
+/// deliveries (the `ops` headline).
+fn run_sim_hotpath(quick: bool) -> u64 {
+    let g = HotpathGeometry::new(quick);
+    let mut rng = DetRng::new(0xD1CE);
+    // Pre-draw the delay sequences so the timed loop measures the scheduler,
+    // not the RNG. Every 16th near-delta is zero (same-instant FIFO path).
+    const TABLE: usize = 4_096;
+    let near: Vec<SimDuration> = (0..TABLE)
+        .map(|i| {
+            if i % 16 == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(rng.uniform_u64(1, 1_000_000))
+            }
+        })
+        .collect();
+    let far: Vec<SimDuration> = (0..TABLE)
+        .map(|_| SimDuration::from_nanos(rng.uniform_u64(10_000_000, 1_000_000_000)))
+        .collect();
+    let mut s: Scheduler<u64> = Scheduler::new();
+    for i in 0..g.population {
+        let at = SimTime::ZERO + near[i % TABLE].max(SimDuration::from_nanos(1));
+        s.schedule_at(at, i as u64);
+    }
+    // Ring of cancellation victims: far enough out that they are almost
+    // always still pending when the ring wraps and cancels them.
+    const RING: usize = 512;
+    let mut ring: Vec<Option<EventId>> = vec![None; RING];
+    let mut ring_at = 0usize;
+    for n in 0..g.deliveries {
+        let (_, payload) = s.pop().expect("population never drains");
+        s.schedule_after(near[(n as usize) % TABLE], payload);
+        if n % 8 == 0 {
+            let id = s.schedule_after(far[(n as usize / 8) % TABLE], u64::MAX);
+            if let Some(old) = ring[ring_at].replace(id) {
+                s.cancel(old);
+            }
+            ring_at = (ring_at + 1) % RING;
+        }
+    }
+    g.deliveries
+}
+
+/// The fixed synthetic substrate under the `stress_grid` sweep: a [`DistFs`]
+/// with `servers` identical queueing stations and one shared semaphore, whose
+/// plans depend only on the op *kind* (no real namespace, no [`MemFs`]). This
+/// keeps the grid a pure engine benchmark — scheduler, CPU/server resources,
+/// and semaphore wake chains — in the spirit of Task Bench's fixed-substrate
+/// parameter sweeps.
+struct GridFs {
+    servers: usize,
+    /// Round-robin cursor over servers (deterministic: `plan` calls happen
+    /// in engine order).
+    next_server: usize,
+    /// Every 4th plan wraps its server stage in the shared semaphore when
+    /// the mix asks for lock traffic.
+    planned: u64,
+    use_sem: bool,
+}
+
+impl GridFs {
+    fn new(servers: usize, use_sem: bool) -> Self {
+        GridFs {
+            servers,
+            next_server: 0,
+            planned: 0,
+            use_sem,
+        }
+    }
+}
+
+impl DistFs for GridFs {
+    fn resources(&self) -> FsResources {
+        FsResources {
+            servers: (0..self.servers)
+                .map(|i| ServerSpec {
+                    name: format!("grid{i}"),
+                    parallelism: 2,
+                })
+                .collect(),
+            semaphores: vec![SemSpec {
+                name: "grid-lock".to_owned(),
+                permits: 2,
+            }],
+        }
+    }
+
+    fn register_clients(&mut self, _nodes: usize) {}
+
+    fn plan(
+        &mut self,
+        _client: ClientCtx,
+        op: &MetaOp,
+        _now: SimTime,
+        _rng: &mut DetRng,
+    ) -> FsResult<OpPlan> {
+        let server = ServerId(self.next_server);
+        self.next_server = (self.next_server + 1) % self.servers;
+        self.planned += 1;
+        // Cost depends only on the op kind: creates are "writes" (heavier
+        // service demand), everything else is a cheap lookup.
+        let demand = match op {
+            MetaOp::Create { .. } | MetaOp::Unlink { .. } => SimDuration::from_micros(30),
+            _ => SimDuration::from_micros(10),
+        };
+        let mut stages = Vec::with_capacity(6);
+        stages.push(Stage::ClientCpu {
+            demand: SimDuration::from_micros(2),
+        });
+        stages.push(Stage::NetDelay {
+            delay: SimDuration::from_micros(50),
+        });
+        let locked = self.use_sem && self.planned.is_multiple_of(4);
+        if locked {
+            stages.push(Stage::AcquireSem { sem: SemId(0) });
+        }
+        stages.push(Stage::Server { server, demand });
+        if locked {
+            stages.push(Stage::ReleaseSem { sem: SemId(0) });
+        }
+        stages.push(Stage::NetDelay {
+            delay: SimDuration::from_micros(50),
+        });
+        Ok(OpPlan {
+            stages,
+            ..Default::default()
+        })
+    }
+
+    fn drop_caches(&mut self, _node: usize) {}
+
+    fn name(&self) -> &str {
+        "gridfs"
+    }
+}
+
+/// One cell of the stress grid: `workers` workers (4 per node) against
+/// `servers` stations, issuing `ops_per_worker` ops of the given mix.
+/// Returns ops completed.
+fn run_grid_cell(workers: usize, servers: usize, mix: &str, ops_per_worker: u64) -> u64 {
+    let use_sem = mix == "mixed";
+    let mut model = GridFs::new(servers, use_sem);
+    let nodes = workers.div_ceil(4).max(1);
+    let node_names: Vec<String> = (0..nodes).map(|i| format!("gn{i}")).collect();
+    let specs: Vec<WorkerSpec> = (0..workers)
+        .map(|w| WorkerSpec::new(w / 4, w % 4))
+        .collect();
+    let mix_owned = mix.to_owned();
+    let streams: Vec<Box<dyn cluster::OpStream>> = (0..workers)
+        .map(|w| {
+            let mix = mix_owned.clone();
+            Box::new(move |i: u64| {
+                if i >= ops_per_worker {
+                    return None;
+                }
+                let path = format!("/g/w{w}/f{i}");
+                Some(match mix.as_str() {
+                    "create" => MetaOp::Create {
+                        path,
+                        data_bytes: 0,
+                    },
+                    "stat" => MetaOp::Stat { path },
+                    // mixed: creates, stats and opens interleaved
+                    _ => match i % 4 {
+                        0 => MetaOp::Create {
+                            path,
+                            data_bytes: 0,
+                        },
+                        1 | 2 => MetaOp::Stat { path },
+                        _ => MetaOp::OpenClose { path },
+                    },
+                })
+            }) as Box<dyn cluster::OpStream>
+        })
+        .collect();
+    let config = SimConfig {
+        seed: 0x9318 + workers as u64 * 31 + servers as u64,
+        ..Default::default()
+    };
+    let res = run_sim(&mut model, &node_names, specs, streams, &config);
+    res.total_ops()
+}
+
+/// Task-Bench-style stress grid: sweep workers × servers × op-mix over the
+/// fixed [`GridFs`] substrate. Returns total ops across all cells.
+fn run_stress_grid(quick: bool) -> u64 {
+    let (worker_axis, server_axis, ops_per_worker): (&[usize], &[usize], u64) = if quick {
+        (&[4, 16], &[1, 4], 100)
+    } else {
+        (&[4, 16, 64], &[1, 4, 16], 400)
+    };
+    let mut ops = 0u64;
+    for &w in worker_axis {
+        for &s in server_axis {
+            for mix in ["create", "stat", "mixed"] {
+                ops += run_grid_cell(w, s, mix, ops_per_worker);
+            }
+        }
+    }
+    ops
+}
+
 /// Run one benchable scenario once; returns the op count (0 for suite
 /// scenarios).
 ///
@@ -195,6 +447,8 @@ fn run_once(id: &str) -> Result<u64, String> {
     match id {
         "snapshot_churn" => Ok(run_churn(false, true)),
         "create_churn" => Ok(run_churn(false, false)),
+        "sim_hotpath" => Ok(run_sim_hotpath(false)),
+        "stress_grid" => Ok(run_stress_grid(false)),
         _ => {
             let scenario =
                 suite::find(id).ok_or_else(|| format!("unknown bench scenario `{id}`"))?;
@@ -209,6 +463,8 @@ fn run_once_quick(id: &str) -> Result<u64, String> {
     match id {
         "snapshot_churn" => Ok(run_churn(true, true)),
         "create_churn" => Ok(run_churn(true, false)),
+        "sim_hotpath" => Ok(run_sim_hotpath(true)),
+        "stress_grid" => Ok(run_stress_grid(true)),
         _ => run_once(id),
     }
 }
@@ -278,6 +534,85 @@ pub fn write_report(report: &BenchReport, out_dir: &Path) -> Result<PathBuf, Str
     Ok(path)
 }
 
+/// One scenario's old-vs-new wall-clock comparison (`bench --compare`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchDelta {
+    /// Scenario id (identical in both reports).
+    pub scenario: String,
+    /// Reference (old) median, seconds.
+    pub old_median_secs: f64,
+    /// Candidate (new) median, seconds.
+    pub new_median_secs: f64,
+    /// `(new - old) / old * 100` — positive means the candidate is *slower*.
+    pub delta_pct: f64,
+    /// `old / new` — >1 means the candidate is faster.
+    pub speedup: f64,
+    /// `delta_pct > threshold` at the threshold passed to [`compare_reports`].
+    pub regression: bool,
+}
+
+/// Load and schema-check a `BENCH_*.json` file.
+///
+/// # Errors
+///
+/// Unreadable file, malformed JSON, or a schema tag other than [`SCHEMA`].
+pub fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let report: BenchReport = serde_json::from_str(&text)
+        .map_err(|e| format!("{}: bad bench JSON: {e}", path.display()))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "{}: schema `{}` is not `{SCHEMA}`",
+            path.display(),
+            report.schema
+        ));
+    }
+    Ok(report)
+}
+
+/// Diff two bench reports of the same scenario. `threshold_pct` is the
+/// slowdown (in percent of the old median) above which the delta counts as a
+/// regression.
+///
+/// # Errors
+///
+/// Reports for different scenarios, or a non-positive old median.
+pub fn compare_reports(
+    old: &BenchReport,
+    new: &BenchReport,
+    threshold_pct: f64,
+) -> Result<BenchDelta, String> {
+    if old.scenario != new.scenario {
+        return Err(format!(
+            "cannot compare `{}` against `{}`: different scenarios",
+            old.scenario, new.scenario
+        ));
+    }
+    let (o, n) = (old.stats.median_secs, new.stats.median_secs);
+    if o <= 0.0 || n <= 0.0 {
+        return Err(format!("`{}`: non-positive median", old.scenario));
+    }
+    let delta_pct = (n - o) / o * 100.0;
+    Ok(BenchDelta {
+        scenario: old.scenario.clone(),
+        old_median_secs: o,
+        new_median_secs: n,
+        delta_pct,
+        speedup: o / n,
+        regression: delta_pct > threshold_pct,
+    })
+}
+
+/// [`load_report`] + [`compare_reports`] over two files.
+///
+/// # Errors
+///
+/// Any load or comparison failure, as a human-readable message.
+pub fn compare_files(old: &Path, new: &Path, threshold_pct: f64) -> Result<BenchDelta, String> {
+    compare_reports(&load_report(old)?, &load_report(new)?, threshold_pct)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +650,71 @@ mod tests {
         let text = serde_json::to_string_pretty(&report).expect("serialize");
         let back: BenchReport = serde_json::from_str(&text).expect("parse");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sim_hotpath_delivers_deterministic_op_count() {
+        assert_eq!(run_sim_hotpath(true), 200_000);
+    }
+
+    #[test]
+    fn stress_grid_completes_every_cell() {
+        // quick grid: (4+16) workers × {1,4} servers × 3 mixes × 100 ops
+        assert_eq!(run_stress_grid(true), (4 + 16) * 2 * 3 * 100);
+    }
+
+    fn fake_report(scenario: &str, median: f64) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_owned(),
+            scenario: scenario.to_owned(),
+            kind: "micro".to_owned(),
+            reps: 1,
+            quick: true,
+            ops: 100,
+            samples_secs: vec![median],
+            stats: BenchStats::from_samples(&[median]),
+            ops_per_sec_median: 100.0 / median,
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_threshold() {
+        let old = fake_report("x", 1.0);
+        let slower = fake_report("x", 1.2);
+        let d = compare_reports(&old, &slower, 10.0).expect("compare");
+        assert!(d.regression);
+        assert!((d.delta_pct - 20.0).abs() < 1e-9);
+        assert!((d.speedup - 1.0 / 1.2).abs() < 1e-9);
+        // within threshold: not a regression
+        let d = compare_reports(&old, &slower, 25.0).expect("compare");
+        assert!(!d.regression);
+        // faster: negative delta, never a regression
+        let faster = fake_report("x", 0.5);
+        let d = compare_reports(&old, &faster, 10.0).expect("compare");
+        assert!(!d.regression);
+        assert!((d.speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_scenarios() {
+        let a = fake_report("a", 1.0);
+        let b = fake_report("b", 1.0);
+        assert!(compare_reports(&a, &b, 10.0).is_err());
+    }
+
+    #[test]
+    fn compare_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dmb-compare-{}", std::process::id()));
+        let old = fake_report("y", 2.0);
+        let new = fake_report("y", 1.0);
+        write_report(&old, &dir).expect("write old");
+        let old_path = dir.join("BENCH_y.old.json");
+        std::fs::rename(report_path(&dir, "y"), &old_path).expect("rename");
+        write_report(&new, &dir).expect("write new");
+        let d = compare_files(&old_path, &report_path(&dir, "y"), 5.0).expect("compare files");
+        assert!((d.speedup - 2.0).abs() < 1e-9);
+        assert!(!d.regression);
+        assert!(load_report(Path::new("/no/such/file.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

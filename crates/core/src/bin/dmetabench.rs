@@ -41,12 +41,20 @@ ANALYZE OPTIONS:
   scheduler/event hot path — diagnostic only, never affects traces)
 
 BENCH OPTIONS:
-  --scenarios <A,B,...>      micro workloads (snapshot_churn, create_churn) or
-                             suite ids        [default: snapshot_churn,create_churn]
+  --scenarios <A,B,...>      micro workloads (snapshot_churn, create_churn,
+                             sim_hotpath, stress_grid) or suite ids
+                                      [default: snapshot_churn,create_churn]
   --reps <N>                 timed repetitions after one warmup   [default: 5]
   --quick                    reduced workload geometry (CI smoke)
   --out <DIR>                directory for BENCH_<id>.json        [default: .]
   --list                     list benchable scenarios and exit
+  --compare <OLD> <NEW>      diff two BENCH_*.json files (same scenario) and
+                             print the median delta instead of running
+                             anything; exits non-zero on regression
+  --threshold <PCT>          slowdown (%) that counts as a regression
+                             for --compare                       [default: 10]
+  --informational            with --compare: report the delta but always
+                             exit 0 (for noisy shared CI runners)
 
 SUITE OPTIONS:
   --filter <SUBSTR>          only scenarios whose id contains SUBSTR
@@ -619,6 +627,9 @@ struct BenchCli {
     quick: bool,
     out: PathBuf,
     list: bool,
+    compare: Option<(PathBuf, PathBuf)>,
+    threshold_pct: f64,
+    informational: bool,
 }
 
 fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
@@ -628,6 +639,9 @@ fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
         quick: false,
         out: PathBuf::from("."),
         list: false,
+        compare: None,
+        threshold_pct: 10.0,
+        informational: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -662,6 +676,24 @@ fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
             "--quick" => cli.quick = true,
             "--out" => cli.out = PathBuf::from(value("--out")?),
             "--list" => cli.list = true,
+            "--compare" => {
+                let old = PathBuf::from(value("--compare")?);
+                let new = PathBuf::from(
+                    it.next()
+                        .cloned()
+                        .ok_or("--compare needs two files: <OLD> <NEW>")?,
+                );
+                cli.compare = Some((old, new));
+            }
+            "--threshold" => {
+                cli.threshold_pct = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !cli.threshold_pct.is_finite() || cli.threshold_pct < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+            }
+            "--informational" => cli.informational = true,
             other => return Err(format!("unknown bench option '{other}' (try --help)")),
         }
     }
@@ -683,6 +715,32 @@ fn bench_main(args: &[String]) -> ExitCode {
         }
         for s in suite::registry() {
             println!("{:24} suite", s.id);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some((old, new)) = &cli.compare {
+        let delta = match bench::compare_files(old, new, cli.threshold_pct) {
+            Ok(d) => d,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{:24} median {:>9.4}s -> {:>9.4}s  {:+.1}% ({:.2}x)  {}",
+            delta.scenario,
+            delta.old_median_secs,
+            delta.new_median_secs,
+            delta.delta_pct,
+            delta.speedup,
+            if delta.regression { "REGRESSION" } else { "ok" }
+        );
+        if delta.regression && !cli.informational {
+            eprintln!(
+                "error: {} regressed by {:.1}% (> {:.1}% threshold)",
+                delta.scenario, delta.delta_pct, cli.threshold_pct
+            );
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }

@@ -78,25 +78,35 @@ impl DistFs for LocalFs {
 
     fn plan(
         &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        now: SimTime,
+        rng: &mut DetRng,
+    ) -> FsResult<OpPlan> {
+        let mut out = OpPlan::default();
+        self.plan_into(client, op, now, rng, &mut out)?;
+        Ok(out)
+    }
+
+    fn plan_into(
+        &mut self,
         _client: ClientCtx,
         op: &MetaOp,
         _now: SimTime,
         _rng: &mut DetRng,
-    ) -> FsResult<OpPlan> {
+        out: &mut OpPlan,
+    ) -> FsResult<()> {
+        out.reset();
         let cost = apply_meta_op(&mut self.fs, op)?;
         let demand = self.config.cost.demand(cost);
-        Ok(OpPlan {
-            stages: vec![
-                Stage::ClientCpu {
-                    demand: self.config.syscall_cpu,
-                },
-                Stage::Server {
-                    server: LOCAL_KERNEL,
-                    demand,
-                },
-            ],
-            ..Default::default()
-        })
+        out.stages.push(Stage::ClientCpu {
+            demand: self.config.syscall_cpu,
+        });
+        out.stages.push(Stage::Server {
+            server: LOCAL_KERNEL,
+            demand,
+        });
+        Ok(())
     }
 
     fn drop_caches(&mut self, _node: usize) {}

@@ -234,6 +234,20 @@ impl DistFs for LustreFs {
         now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
+        let mut out = OpPlan::default();
+        self.plan_into(client, op, now, rng, &mut out)?;
+        Ok(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        now: SimTime,
+        rng: &mut DetRng,
+        out: &mut OpPlan,
+    ) -> FsResult<()> {
+        out.reset();
         // lock-cached reads are local
         let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
@@ -241,9 +255,11 @@ impl DistFs for LustreFs {
                 if self.lock_caches[client.node].lookup(path) =>
             {
                 telemetry::count("lustre.lock_cache.hit", 1);
-                return Ok(
-                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
-                );
+                out.stages.push(Stage::ClientCpu {
+                    demand: self.config.cached_stat_cpu,
+                });
+                out.cache = telemetry::CacheTag::Hit;
+                return Ok(());
             }
             MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
                 telemetry::count("lustre.lock_cache.miss", 1);
@@ -283,16 +299,14 @@ impl DistFs for LustreFs {
             MetaOp::Readdir { .. } => RpcProfile::readdir(cost.dir_probes),
             _ => RpcProfile::metadata(),
         };
-        let mut stages = Vec::new();
-        let mut background = Vec::new();
         if op.is_mutation() {
             // window slot for the uncommitted-operation copy (§4.8)
             if let Some(wb) = self.wb_sem(client.node) {
-                stages.push(Stage::AcquireSem { sem: wb });
+                out.stages.push(Stage::AcquireSem { sem: wb });
                 // the journal commit is Lustre's consistency point: the
                 // moment the uncommitted client-held copy becomes durable
                 // server-side state (§4.8)
-                background.push(BackgroundJob {
+                out.background.push(BackgroundJob {
                     server: LUSTRE_COMMIT,
                     demand: self.config.commit_demand,
                     release_sem: Some(wb),
@@ -301,7 +315,7 @@ impl DistFs for LustreFs {
                 telemetry::count("lustre.commit", 1);
             }
             // single modifying RPC in flight per node
-            stages.push(Stage::AcquireSem {
+            out.stages.push(Stage::AcquireSem {
                 sem: self.modify_sem(client.node),
             });
         }
@@ -310,36 +324,36 @@ impl DistFs for LustreFs {
         // reconnects, and the commit background job scheduled at plan time
         // must never release a slot this op has not acquired yet.
         if !fstats.stall.is_zero() {
-            stages.push(Stage::NetDelay {
+            out.stages.push(Stage::NetDelay {
                 delay: fstats.stall,
             });
         }
-        stages.push(Stage::ClientCpu {
+        out.stages.push(Stage::ClientCpu {
             demand: self.config.client_cpu,
         });
         if op.is_mutation() {
             // LDLM intent-lock enqueue round trip preceding the modifying
             // RPC (Lustre 1.6 metadata path)
-            stages.push(Stage::NetDelay {
+            out.stages.push(Stage::NetDelay {
                 delay: link.one_way_at(64, send_at, faults, rng),
             });
-            stages.push(Stage::NetDelay {
+            out.stages.push(Stage::NetDelay {
                 delay: link.one_way_at(64, send_at, faults, rng),
             });
         }
-        stages.push(Stage::NetDelay {
+        out.stages.push(Stage::NetDelay {
             delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
         });
         telemetry::count("lustre.rpc", 1);
-        stages.push(Stage::Server {
+        out.stages.push(Stage::Server {
             server: LUSTRE_MDS,
             demand,
         });
-        stages.push(Stage::NetDelay {
+        out.stages.push(Stage::NetDelay {
             delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
         });
         if op.is_mutation() {
-            stages.push(Stage::ReleaseSem {
+            out.stages.push(Stage::ReleaseSem {
                 sem: self.modify_sem(client.node),
             });
             self.lock_caches[client.node].fill(op.primary_path());
@@ -353,7 +367,7 @@ impl DistFs for LustreFs {
                 .is_multiple_of(self.config.precreate_batch)
             {
                 let server = self.oss_server();
-                background.push(BackgroundJob {
+                out.background.push(BackgroundJob {
                     server,
                     demand: self.config.precreate_demand,
                     release_sem: None,
@@ -362,13 +376,9 @@ impl DistFs for LustreFs {
                 telemetry::count("lustre.precreate", 1);
             }
         }
-        Ok(OpPlan {
-            stages,
-            background,
-            faults: fstats,
-            cache: cache_tag,
-            ..Default::default()
-        })
+        out.faults = fstats;
+        out.cache = cache_tag;
+        Ok(())
     }
 
     fn drop_caches(&mut self, node: usize) {

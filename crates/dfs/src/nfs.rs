@@ -164,33 +164,32 @@ impl NfsFs {
         self.config.cp_min_pause + self.config.cp_pause_per_mib.mul_f64(mib)
     }
 
-    fn rpc_plan(
+    /// Append the synchronous RPC round trip (client CPU, request, service,
+    /// response) to a caller-provided stage buffer. RNG draw order (request
+    /// delay, then response delay) is part of the determinism contract.
+    fn push_rpc_stages(
         &self,
+        stages: &mut Vec<Stage>,
         demand: SimDuration,
         profile: RpcProfile,
         send_at: SimTime,
         rng: &mut DetRng,
-    ) -> OpPlan {
+    ) {
         let link = self.config.link.with_jitter(self.config.jitter);
         let faults = self.faults.as_ref();
-        OpPlan {
-            stages: vec![
-                Stage::ClientCpu {
-                    demand: self.config.client_cpu,
-                },
-                Stage::NetDelay {
-                    delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
-                },
-                Stage::Server {
-                    server: NFS_SERVER,
-                    demand,
-                },
-                Stage::NetDelay {
-                    delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
-                },
-            ],
-            ..Default::default()
-        }
+        stages.push(Stage::ClientCpu {
+            demand: self.config.client_cpu,
+        });
+        stages.push(Stage::NetDelay {
+            delay: link.one_way_at(profile.request_bytes, send_at, faults, rng),
+        });
+        stages.push(Stage::Server {
+            server: NFS_SERVER,
+            demand,
+        });
+        stages.push(Stage::NetDelay {
+            delay: link.one_way_at(profile.response_bytes, send_at, faults, rng),
+        });
     }
 }
 
@@ -221,15 +220,31 @@ impl DistFs for NfsFs {
         now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
+        let mut out = OpPlan::default();
+        self.plan_into(client, op, now, rng, &mut out)?;
+        Ok(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        now: SimTime,
+        rng: &mut DetRng,
+        out: &mut OpPlan,
+    ) -> FsResult<()> {
+        out.reset();
         let cache = &mut self.attr_caches[client.node];
         // Reads that the client may answer locally (close-to-open + TTL).
         let mut cache_tag = telemetry::CacheTag::Untagged;
         match op {
             MetaOp::Stat { path } | MetaOp::OpenClose { path } if cache.lookup(path, now) => {
                 telemetry::count("nfs.attr_cache.hit", 1);
-                return Ok(
-                    OpPlan::local(self.config.cached_stat_cpu).with_cache(telemetry::CacheTag::Hit)
-                );
+                out.stages.push(Stage::ClientCpu {
+                    demand: self.config.cached_stat_cpu,
+                });
+                out.cache = telemetry::CacheTag::Hit;
+                return Ok(());
             }
             MetaOp::Stat { .. } | MetaOp::OpenClose { .. } => {
                 telemetry::count("nfs.attr_cache.miss", 1);
@@ -245,24 +260,21 @@ impl DistFs for NfsFs {
             _ => RpcProfile::metadata(),
         };
         // Faults: time out + retransmit with backoff until an attempt gets
-        // through (or the soft mount gives up and sends anyway).
+        // through (or the soft mount gives up and sends anyway). The retry
+        // stages precede the RPC round trip; this path only allocates when a
+        // fault plan is active.
         let mut fstats = FaultStats::default();
-        let mut retry_stages = Vec::new();
         if let Some(faults) = self.faults.as_mut() {
             let (stages, stats) = retry_backoff(faults, Some(NFS_SERVER.0), now, self.config.retry);
-            retry_stages = stages;
+            out.stages.extend(stages);
             fstats = stats;
             if faults.degradation(now + fstats.stall).is_some() {
                 fstats.injected += 1;
             }
         }
         let send_at = now + fstats.stall;
-        let mut plan = self.rpc_plan(demand, profile, send_at, rng);
-        if !retry_stages.is_empty() {
-            retry_stages.append(&mut plan.stages);
-            plan.stages = retry_stages;
-        }
-        plan.faults = fstats;
+        self.push_rpc_stages(&mut out.stages, demand, profile, send_at, rng);
+        out.faults = fstats;
         telemetry::count("nfs.rpc", 1);
         if op.is_mutation() {
             let data = if let MetaOp::Create { data_bytes, .. } = op {
@@ -273,7 +285,7 @@ impl DistFs for NfsFs {
             self.dirty_bytes += self.config.nvram_bytes_per_op + data;
             if self.dirty_bytes >= self.config.nvram_limit_bytes {
                 // NVRAM half full: immediate back-to-back consistency point.
-                plan.pauses.push((NFS_SERVER, self.cp_pause()));
+                out.pauses.push((NFS_SERVER, self.cp_pause()));
                 self.dirty_bytes = 0;
                 self.consistency_points += 1;
                 telemetry::count("nfs.consistency_point", 1);
@@ -283,8 +295,8 @@ impl DistFs for NfsFs {
         } else {
             self.attr_caches[client.node].fill(op.primary_path(), now);
         }
-        plan.cache = cache_tag;
-        Ok(plan)
+        out.cache = cache_tag;
+        Ok(())
     }
 
     fn first_timer(&self) -> Option<SimTime> {

@@ -136,6 +136,18 @@ impl OpPlan {
         self
     }
 
+    /// Clear the plan for reuse, retaining the stage/background/pause
+    /// buffers' capacity. This is what makes [`DistFs::plan_into`] pooling
+    /// allocation-free in steady state: the engine hands each worker's plan
+    /// buffer back to the model, which resets and refills it in place.
+    pub fn reset(&mut self) {
+        self.stages.clear();
+        self.background.clear();
+        self.pauses.clear();
+        self.faults = FaultStats::default();
+        self.cache = CacheTag::Untagged;
+    }
+
     /// Total foreground service demand excluding queueing (useful for
     /// sanity checks in tests).
     pub fn foreground_demand(&self) -> SimDuration {
@@ -222,6 +234,31 @@ pub trait DistFs: Send {
         now: SimTime,
         rng: &mut DetRng,
     ) -> FsResult<OpPlan>;
+
+    /// Compile one operation into a caller-provided plan buffer.
+    ///
+    /// The engine's hot path: `out` is a per-worker buffer that the model
+    /// [`reset`](OpPlan::reset)s and refills, so models that override this
+    /// compile operations with zero steady-state allocations. The default
+    /// falls back to [`plan`](DistFs::plan) and moves the result into `out`,
+    /// which keeps third-party models correct (if allocating).
+    ///
+    /// On `Err`, `out` is left in an unspecified (but reusable) state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`plan`](DistFs::plan).
+    fn plan_into(
+        &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        now: SimTime,
+        rng: &mut DetRng,
+        out: &mut OpPlan,
+    ) -> FsResult<()> {
+        *out = self.plan(client, op, now, rng)?;
+        Ok(())
+    }
 
     /// First timer request (`None` = the model needs no timers).
     fn first_timer(&self) -> Option<SimTime> {

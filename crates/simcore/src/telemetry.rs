@@ -16,10 +16,19 @@
 //!   ([`LatencyHistogram`]).
 //!
 //! Recording is **off by default** and costs a single thread-local flag
-//! check per call site when disabled, so instrumented hot paths stay free
-//! for ordinary runs. A caller opts in by wrapping a workload in
-//! [`capture`], which installs a thread-local sink, runs the closure, and
-//! returns a [`TelemetryReport`].
+//! check ([`Cell`] read) per call site when disabled, so instrumented hot
+//! paths stay free for ordinary runs. A caller opts in by wrapping a
+//! workload in [`capture`], which installs a thread-local sink, runs the
+//! closure, and returns a [`TelemetryReport`].
+//!
+//! When enabled, recording takes a *fast path*: `&'static str` labels are
+//! interned to dense `u32` ids on first use (pointer-identity keyed — no
+//! string hashing), every timeline event is one fixed-size record appended
+//! to a single per-capture buffer, and counters/histograms are indexed
+//! arrays addressed by label id. All string work (resolving ids, sorting by
+//! name, escaping) happens once at export, which is why the JSON outputs
+//! are byte-for-byte what they were when the sink kept per-kind lists keyed
+//! by string.
 //!
 //! Everything is stamped with virtual [`SimTime`], never the wall clock,
 //! and recording neither draws random numbers nor schedules events — so
@@ -100,39 +109,97 @@ pub fn sem_tid(sem: usize) -> u64 {
     SEM_TID_BASE + sem as u64
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct SpanEvent {
+/// Pointer-identity hasher for label interning: an interner key is already
+/// a unique machine word pair (data pointer + length of a `&'static str`),
+/// so "hashing" is a rotate and a multiply — no SipHash, no byte loops on
+/// the telemetry hot path.
+#[derive(Debug, Default, Clone)]
+struct IdentityHash(u64);
+
+impl std::hash::Hasher for IdentityHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (self.0.rotate_left(29) ^ n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdentityBuild = std::hash::BuildHasherDefault<IdentityHash>;
+
+/// Interns `&'static str` event labels to dense `u32` ids at first use.
+///
+/// Keys are pointer identity, not content: two distinct statics with equal
+/// text get two ids, which is harmless because every export resolves ids
+/// back to strings and aggregates by name. Ids are assigned in first-use
+/// order, so they are as deterministic as the event sequence.
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    ids: std::collections::HashMap<(usize, usize), u32, IdentityBuild>,
+    names: Vec<&'static str>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &'static str) -> u32 {
+        let key = (s.as_ptr() as usize, s.len());
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("label id overflow");
+        self.ids.insert(key, id);
+        self.names.push(s);
+        id
+    }
+
+    fn name(&self, id: u32) -> &'static str {
+        self.names[id as usize]
+    }
+}
+
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        // ids are positional, so equal name tables mean equal interners
+        self.names == other.names
+    }
+}
+
+/// Which timeline kind a [`RawEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Span,
+    Instant,
+    FlowStart,
+    FlowFinish,
+    Gauge,
+}
+
+/// One timeline event in the per-capture buffer. All four kinds (spans,
+/// instants, flows, gauges) share this fixed-size record so recording is a
+/// single append to one growing buffer — the telemetry fast path — with
+/// labels as interned `u32` ids. Field meaning by kind:
+///
+/// | kind       | `ts_ns`  | `val`    | `id`      | `parent`  |
+/// |------------|----------|----------|-----------|-----------|
+/// | Span       | start    | duration | causal id | parent id |
+/// | Instant    | instant  | —        | —         | —         |
+/// | Flow*      | instant  | —        | flow id   | —         |
+/// | Gauge      | sample   | value    | —         | —         |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RawEvent {
+    kind: EvKind,
     pid: u32,
+    name: u32,
+    cat: u32,
     tid: u64,
-    name: &'static str,
-    cat: &'static str,
-    start_ns: u64,
-    dur_ns: u64,
-    /// Capture-unique causal id (0 = none).
+    ts_ns: u64,
+    val: u64,
     id: u64,
-    /// Causal parent span id (0 = none).
     parent: u64,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct FlowEvent {
-    pid: u32,
-    tid: u64,
-    name: &'static str,
-    cat: &'static str,
-    ts_ns: u64,
-    id: u64,
-    /// `true` = flow start (`ph:"s"`), `false` = flow finish (`ph:"f"`).
-    start: bool,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct GaugeEvent {
-    pid: u32,
-    tid: u64,
-    name: &'static str,
-    ts_ns: u64,
-    value: u64,
 }
 
 /// Cache outcome of one operation, threaded from the file-system model's
@@ -205,15 +272,6 @@ impl OpRecord {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct InstantEvent {
-    pid: u32,
-    tid: u64,
-    name: &'static str,
-    cat: &'static str,
-    ts_ns: u64,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
 struct ProcessMeta {
     pid: u32,
     name: String,
@@ -230,15 +288,58 @@ struct ThreadMeta {
 struct Sink {
     next_pid: u32,
     next_id: u64,
+    labels: Interner,
     processes: Vec<ProcessMeta>,
     threads: Vec<ThreadMeta>,
-    spans: Vec<SpanEvent>,
-    instants: Vec<InstantEvent>,
-    flows: Vec<FlowEvent>,
-    gauges: Vec<GaugeEvent>,
+    /// The per-capture event buffer: every span, instant, flow and gauge is
+    /// one fixed-size [`RawEvent`] appended here in arrival order. Exports
+    /// filter by kind, so per-kind relative order — what the byte-identical
+    /// output formats depend on — is exactly the recording order.
+    events: Vec<RawEvent>,
     ops: Vec<OpRecord>,
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, LatencyHistogram>,
+    /// Counter totals indexed by label id (`None` = never incremented).
+    /// Resolved back to names and name-sorted at export.
+    counters: Vec<Option<u64>>,
+    /// Histograms indexed by label id, same scheme as `counters`.
+    histograms: Vec<Option<LatencyHistogram>>,
+}
+
+impl Sink {
+    /// Grow an id-indexed table to cover `idx` and return its slot.
+    fn slot<T>(vec: &mut Vec<Option<T>>, idx: usize) -> &mut Option<T> {
+        if vec.len() <= idx {
+            vec.resize_with(idx + 1, || None);
+        }
+        &mut vec[idx]
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_event(
+        &mut self,
+        kind: EvKind,
+        pid: u32,
+        tid: u64,
+        name: &'static str,
+        cat: &'static str,
+        ts_ns: u64,
+        val: u64,
+        id: u64,
+        parent: u64,
+    ) {
+        let name = self.labels.intern(name);
+        let cat = self.labels.intern(cat);
+        self.events.push(RawEvent {
+            kind,
+            pid,
+            name,
+            cat,
+            tid,
+            ts_ns,
+            val,
+            id,
+            parent,
+        });
+    }
 }
 
 thread_local! {
@@ -377,16 +478,17 @@ pub fn span_with_id(
         return;
     }
     with_sink(|sink| {
-        sink.spans.push(SpanEvent {
+        sink.push_event(
+            EvKind::Span,
             pid,
             tid,
             name,
             cat,
-            start_ns: start.as_nanos(),
-            dur_ns: end.saturating_since(start).as_nanos(),
+            start.as_nanos(),
+            end.saturating_since(start).as_nanos(),
             id,
             parent,
-        });
+        );
     });
 }
 
@@ -422,16 +524,13 @@ fn push_flow(
     if !enabled() {
         return;
     }
+    let kind = if start {
+        EvKind::FlowStart
+    } else {
+        EvKind::FlowFinish
+    };
     with_sink(|sink| {
-        sink.flows.push(FlowEvent {
-            pid,
-            tid,
-            name,
-            cat,
-            ts_ns: ts.as_nanos(),
-            id,
-            start,
-        });
+        sink.push_event(kind, pid, tid, name, cat, ts.as_nanos(), 0, id, 0);
     });
 }
 
@@ -443,13 +542,17 @@ pub fn gauge(pid: u32, tid: u64, name: &'static str, ts: SimTime, value: u64) {
         return;
     }
     with_sink(|sink| {
-        sink.gauges.push(GaugeEvent {
+        sink.push_event(
+            EvKind::Gauge,
             pid,
             tid,
             name,
-            ts_ns: ts.as_nanos(),
+            "",
+            ts.as_nanos(),
             value,
-        });
+            0,
+            0,
+        );
     });
 }
 
@@ -467,22 +570,22 @@ pub fn instant(pid: u32, tid: u64, name: &'static str, cat: &'static str, ts: Si
         return;
     }
     with_sink(|sink| {
-        sink.instants.push(InstantEvent {
-            pid,
-            tid,
-            name,
-            cat,
-            ts_ns: ts.as_nanos(),
-        });
+        sink.push_event(EvKind::Instant, pid, tid, name, cat, ts.as_nanos(), 0, 0, 0);
     });
 }
 
 /// Add `delta` to a named counter.
+///
+/// The counter is addressed by interned label id — an identity-hash lookup
+/// and an indexed add, no string comparisons on the hot path.
 pub fn count(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
-    with_sink(|sink| *sink.counters.entry(name).or_insert(0) += delta);
+    with_sink(|sink| {
+        let idx = sink.labels.intern(name) as usize;
+        *Sink::slot(&mut sink.counters, idx).get_or_insert(0) += delta;
+    });
 }
 
 /// Record one observation into a named latency histogram.
@@ -491,7 +594,10 @@ pub fn observe(name: &'static str, latency: SimDuration) {
         return;
     }
     with_sink(|sink| {
-        sink.histograms.entry(name).or_default().push(latency);
+        let idx = sink.labels.intern(name) as usize;
+        Sink::slot(&mut sink.histograms, idx)
+            .get_or_insert_with(LatencyHistogram::default)
+            .push(latency);
     });
 }
 
@@ -511,13 +617,20 @@ impl TelemetryReport {
     /// True if nothing at all was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sink.spans.is_empty()
-            && self.sink.instants.is_empty()
-            && self.sink.flows.is_empty()
-            && self.sink.gauges.is_empty()
+        self.sink.events.is_empty()
             && self.sink.ops.is_empty()
             && self.sink.counters.is_empty()
             && self.sink.histograms.is_empty()
+    }
+
+    /// Events of one kind, in recording order.
+    fn events(&self, kind: EvKind) -> impl Iterator<Item = &RawEvent> {
+        self.sink.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Resolve an interned label id back to its string.
+    fn label(&self, id: u32) -> &'static str {
+        self.sink.labels.name(id)
     }
 
     /// All per-operation causal records, in completion order.
@@ -529,14 +642,16 @@ impl TelemetryReport {
     /// Number of gauge samples recorded.
     #[must_use]
     pub fn gauge_count(&self) -> usize {
-        self.sink.gauges.len()
+        self.events(EvKind::Gauge).count()
     }
 
     /// Number of flow events recorded as `(starts, finishes)`.
     #[must_use]
     pub fn flow_counts(&self) -> (usize, usize) {
-        let starts = self.sink.flows.iter().filter(|f| f.start).count();
-        (starts, self.sink.flows.len() - starts)
+        (
+            self.events(EvKind::FlowStart).count(),
+            self.events(EvKind::FlowFinish).count(),
+        )
     }
 
     /// Display name of a trace process (a [`begin_run`] invocation).
@@ -559,27 +674,36 @@ impl TelemetryReport {
             .map(|t| t.name.as_str())
     }
 
-    /// Value of a counter (0 if never incremented).
+    /// Value of a counter (0 if never incremented). Label ids are
+    /// pointer-interned, so distinct statics with equal text are summed here
+    /// just as the exports aggregate them.
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.sink.counters.get(name).copied().unwrap_or(0)
+        self.sink
+            .counters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                v.filter(|_| self.label(u32::try_from(i).expect("label id overflow")) == name)
+            })
+            .sum()
     }
 
     /// Number of spans recorded under `name`.
     #[must_use]
     pub fn span_count(&self, name: &str) -> usize {
-        self.sink.spans.iter().filter(|s| s.name == name).count()
+        self.events(EvKind::Span)
+            .filter(|s| self.label(s.name) == name)
+            .count()
     }
 
     /// Total duration of all spans recorded under `name`.
     #[must_use]
     pub fn span_total(&self, name: &str) -> SimDuration {
         SimDuration::from_nanos(
-            self.sink
-                .spans
-                .iter()
-                .filter(|s| s.name == name)
-                .map(|s| s.dur_ns)
+            self.events(EvKind::Span)
+                .filter(|s| self.label(s.name) == name)
+                .map(|s| s.val)
                 .sum(),
         )
     }
@@ -588,7 +712,10 @@ impl TelemetryReport {
     /// `name`.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
-        self.sink.histograms.get(name)
+        self.sink.histograms.iter().enumerate().find_map(|(i, h)| {
+            h.as_ref()
+                .filter(|_| self.label(u32::try_from(i).expect("label id overflow")) == name)
+        })
     }
 
     /// Merge another report into this one (counters and histograms combine;
@@ -615,28 +742,22 @@ impl TelemetryReport {
                 name: t.name.clone(),
             });
         }
-        for s in &other.sink.spans {
-            let mut s = s.clone();
-            s.pid += pid_base;
-            s.id = shift(s.id);
-            s.parent = shift(s.parent);
-            self.sink.spans.push(s);
-        }
-        for i in &other.sink.instants {
-            let mut i = i.clone();
-            i.pid += pid_base;
-            self.sink.instants.push(i);
-        }
-        for f in &other.sink.flows {
-            let mut f = f.clone();
-            f.pid += pid_base;
-            f.id = shift(f.id);
-            self.sink.flows.push(f);
-        }
-        for g in &other.sink.gauges {
-            let mut g = g.clone();
-            g.pid += pid_base;
-            self.sink.gauges.push(g);
+        for e in &other.sink.events {
+            let mut e = *e;
+            e.pid += pid_base;
+            // label ids are per-capture: re-intern through the other report's
+            // name table into ours
+            e.name = self.sink.labels.intern(other.sink.labels.name(e.name));
+            e.cat = self.sink.labels.intern(other.sink.labels.name(e.cat));
+            match e.kind {
+                EvKind::Span => {
+                    e.id = shift(e.id);
+                    e.parent = shift(e.parent);
+                }
+                EvKind::FlowStart | EvKind::FlowFinish => e.id = shift(e.id),
+                EvKind::Instant | EvKind::Gauge => {}
+            }
+            self.sink.events.push(e);
         }
         for o in &other.sink.ops {
             let mut o = *o;
@@ -644,11 +765,27 @@ impl TelemetryReport {
             o.id = shift(o.id);
             self.sink.ops.push(o);
         }
-        for (name, v) in &other.sink.counters {
-            *self.sink.counters.entry(name).or_insert(0) += v;
+        for (idx, v) in other.sink.counters.iter().enumerate() {
+            if let Some(v) = *v {
+                let name = other
+                    .sink
+                    .labels
+                    .name(u32::try_from(idx).expect("label id overflow"));
+                let id = self.sink.labels.intern(name) as usize;
+                *Sink::slot(&mut self.sink.counters, id).get_or_insert(0) += v;
+            }
         }
-        for (name, h) in &other.sink.histograms {
-            self.sink.histograms.entry(name).or_default().merge(h);
+        for (idx, h) in other.sink.histograms.iter().enumerate() {
+            if let Some(h) = h {
+                let name = other
+                    .sink
+                    .labels
+                    .name(u32::try_from(idx).expect("label id overflow"));
+                let id = self.sink.labels.intern(name) as usize;
+                Sink::slot(&mut self.sink.histograms, id)
+                    .get_or_insert_with(LatencyHistogram::default)
+                    .merge(h);
+            }
         }
     }
 
@@ -658,8 +795,7 @@ impl TelemetryReport {
     /// nanosecond precision; output is byte-deterministic.
     #[must_use]
     pub fn to_chrome_trace_json(&self) -> String {
-        let mut out =
-            String::with_capacity(128 + 96 * (self.sink.spans.len() + self.sink.instants.len()));
+        let mut out = String::with_capacity(128 + 96 * self.sink.events.len());
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
         let mut sep = |out: &mut String| {
@@ -689,17 +825,17 @@ impl TelemetryReport {
                 escape(&t.name)
             );
         }
-        for s in &self.sink.spans {
+        for s in self.events(EvKind::Span) {
             sep(&mut out);
             let _ = write!(
                 out,
                 "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"{}\"",
                 s.pid,
                 s.tid,
-                Us(s.start_ns),
-                Us(s.dur_ns),
-                escape(s.name),
-                escape(s.cat)
+                Us(s.ts_ns),
+                Us(s.val),
+                escape(self.label(s.name)),
+                escape(self.label(s.cat))
             );
             match (s.id, s.parent) {
                 (0, 0) => {}
@@ -715,7 +851,7 @@ impl TelemetryReport {
             }
             out.push('}');
         }
-        for i in &self.sink.instants {
+        for i in self.events(EvKind::Instant) {
             sep(&mut out);
             let _ = write!(
                 out,
@@ -723,16 +859,22 @@ impl TelemetryReport {
                 i.pid,
                 i.tid,
                 Us(i.ts_ns),
-                escape(i.name),
-                escape(i.cat)
+                escape(self.label(i.name)),
+                escape(self.label(i.cat))
             );
         }
-        for f in &self.sink.flows {
+        for f in self
+            .sink
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EvKind::FlowStart | EvKind::FlowFinish))
+        {
             sep(&mut out);
             // `bp:"e"` binds the finish to its enclosing slice, which is what
             // makes Perfetto draw the arrow onto the server-side span.
-            let bp = if f.start { "" } else { "\"bp\":\"e\"," };
-            let ph = if f.start { 's' } else { 'f' };
+            let start = f.kind == EvKind::FlowStart;
+            let bp = if start { "" } else { "\"bp\":\"e\"," };
+            let ph = if start { 's' } else { 'f' };
             let _ = write!(
                 out,
                 "{{\"ph\":\"{ph}\",{bp}\"pid\":{},\"tid\":{},\"ts\":{},\"id\":{},\"name\":\"{}\",\"cat\":\"{}\"}}",
@@ -740,12 +882,12 @@ impl TelemetryReport {
                 f.tid,
                 Us(f.ts_ns),
                 f.id,
-                escape(f.name),
-                escape(f.cat)
+                escape(self.label(f.name)),
+                escape(self.label(f.cat))
             );
         }
         let tracks = self.track_labels();
-        for g in &self.sink.gauges {
+        for g in self.events(EvKind::Gauge) {
             sep(&mut out);
             // counter tracks are keyed by (pid, name) in trace viewers, so
             // the resolved track label is folded into the counter name
@@ -755,8 +897,8 @@ impl TelemetryReport {
                 g.pid,
                 Us(g.ts_ns),
                 escape(&tracks.label(g.pid, g.tid)),
-                escape(g.name),
-                g.value
+                escape(self.label(g.name)),
+                g.val
             );
         }
         out.push_str("\n]}\n");
@@ -771,10 +913,15 @@ impl TelemetryReport {
     pub fn to_timeseries_json(&self) -> String {
         let tracks = self.track_labels();
         let mut series: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
-        for g in &self.sink.gauges {
+        for g in self.events(EvKind::Gauge) {
             let process = self.process_name(g.pid).unwrap_or("run");
-            let key = format!("{}/{}/{}", process, tracks.label(g.pid, g.tid), g.name);
-            series.entry(key).or_default().push((g.ts_ns, g.value));
+            let key = format!(
+                "{}/{}/{}",
+                process,
+                tracks.label(g.pid, g.tid),
+                self.label(g.name)
+            );
+            series.entry(key).or_default().push((g.ts_ns, g.val));
         }
         let mut out = String::new();
         out.push_str("{\n  \"schema\": \"dmetabench.timeseries/v1\",\n  \"series\": {");
@@ -808,20 +955,37 @@ impl TelemetryReport {
     /// nanoseconds), so equal runs produce byte-identical output.
     #[must_use]
     pub fn to_metrics_json(&self) -> String {
+        // resolve interned ids back to names and aggregate by name — the
+        // BTreeMaps restore the name-sorted, content-merged view the output
+        // format pins
         let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
-        for s in &self.sink.spans {
-            let e = spans.entry(s.name).or_insert((0, 0));
+        for s in self.events(EvKind::Span) {
+            let e = spans.entry(self.label(s.name)).or_insert((0, 0));
             e.0 += 1;
-            e.1 += s.dur_ns;
+            e.1 += s.val;
         }
         let mut instants: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for i in &self.sink.instants {
-            *instants.entry(i.name).or_insert(0) += 1;
+        for i in self.events(EvKind::Instant) {
+            *instants.entry(self.label(i.name)).or_insert(0) += 1;
+        }
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (idx, v) in self.sink.counters.iter().enumerate() {
+            if let Some(v) = *v {
+                let name = self.label(u32::try_from(idx).expect("label id overflow"));
+                *counters.entry(name).or_insert(0) += v;
+            }
+        }
+        let mut histograms: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+        for (idx, h) in self.sink.histograms.iter().enumerate() {
+            if let Some(h) = h {
+                let name = self.label(u32::try_from(idx).expect("label id overflow"));
+                histograms.entry(name).or_default().merge(h);
+            }
         }
 
         let mut out = String::new();
         out.push_str("{\n  \"counters\": {");
-        write_map(&mut out, self.sink.counters.iter(), |out, (name, v)| {
+        write_map(&mut out, counters.iter(), |out, (name, v)| {
             let _ = write!(out, "\"{}\": {}", escape(name), v);
         });
         out.push_str("},\n  \"spans\": {");
@@ -837,7 +1001,7 @@ impl TelemetryReport {
             let _ = write!(out, "\"{}\": {n}", escape(name));
         });
         out.push_str("},\n  \"histograms\": {");
-        write_map(&mut out, self.sink.histograms.iter(), |out, (name, h)| {
+        write_map(&mut out, histograms.iter(), |out, (name, h)| {
             let _ = write!(
                 out,
                 "\"{}\": {{\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
