@@ -33,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod parsim;
 mod placement;
 mod simengine;
 mod threadengine;
 
+pub use parsim::{set_sim_threads, sim_threads};
 pub use placement::{execution_plan, MpiWorld, Placement, RunSpec};
 pub use simengine::{
     create_stream, run_sim, Disturbance, OpStream, SimConfig, SimRunResult, WorkerSpec, WorkerTrace,

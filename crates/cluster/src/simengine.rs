@@ -352,7 +352,7 @@ struct WState {
 }
 
 /// Telemetry span name for an operation.
-fn op_label(op: &MetaOp) -> &'static str {
+pub(crate) fn op_label(op: &MetaOp) -> &'static str {
     match op {
         MetaOp::Create { .. } => "create",
         MetaOp::Mkdir { .. } => "mkdir",
@@ -374,12 +374,41 @@ fn op_label(op: &MetaOp) -> &'static str {
 /// `node_names` supplies display names (hostnames) for the participating
 /// nodes; `workers[i]` uses `streams[i]`.
 ///
+/// When [`crate::set_sim_threads`] has selected the conservative parallel
+/// engine *and* the run is partition-safe (no disturbances, no model
+/// timers) *and* the model offers a [`dfs::PartitionPlan`], the run is
+/// dispatched to the windowed engine in `parsim` — whose results are
+/// bit-identical at every thread count. Every other run (including all
+/// models that keep the default `partition() == None`) takes the classic
+/// sequential engine below, byte-for-byte unchanged.
+///
 /// # Panics
 ///
 /// Panics if `workers` and `streams` lengths differ, if a worker references
 /// a node outside `node_names`, or if the model's plans reference undeclared
 /// resources.
 pub fn run_sim(
+    model: &mut dyn DistFs,
+    node_names: &[String],
+    workers: Vec<WorkerSpec>,
+    streams: Vec<Box<dyn OpStream>>,
+    config: &SimConfig,
+) -> SimRunResult {
+    if let Some(threads) = crate::sim_threads() {
+        if config.disturbances.is_empty() && model.first_timer().is_none() {
+            if let Some(plan) = model.partition(node_names.len()) {
+                return crate::parsim::run_partitioned(
+                    model, plan, node_names, workers, streams, config, threads,
+                );
+            }
+        }
+    }
+    run_sim_classic(model, node_names, workers, streams, config)
+}
+
+/// The classic single-scheduler engine (every stage kind, disturbances,
+/// timers, faults).
+fn run_sim_classic(
     model: &mut dyn DistFs,
     node_names: &[String],
     workers: Vec<WorkerSpec>,

@@ -19,7 +19,10 @@
 //!   Task-Bench-style parameterized sweep of workers × servers × op-mix
 //!   over a fixed synthetic substrate, exercising the whole engine
 //!   (scheduler + resources + telemetry-off fast path) without any
-//!   file-system semantics.
+//!   file-system semantics. `sim_hotpath_mt` and `stress_grid_mt` are the
+//!   multi-threaded twins (independent event-loop lanes / concurrent grid
+//!   cells on `--sim-threads` OS threads) — same deterministic op totals,
+//!   wall-clock measures cross-core scaling.
 //! * any registered **suite** scenario by id (`exp_4_8_writeback`, …),
 //!   timed end to end.
 //!
@@ -30,11 +33,13 @@
 use crate::suite;
 use cluster::{run_sim, SimConfig, WorkerSpec};
 use dfs::{
-    ClientCtx, DistFs, FsResources, MetaOp, OpPlan, SemId, SemSpec, ServerId, ServerSpec, Stage,
+    ClientCtx, DistFs, FsResources, MetaOp, OpPlan, PartitionPlan, SemId, SemSpec, ServerId,
+    ServerSpec, Stage,
 };
 use memfs::{FsResult, MemFs, OpenFlags, Vfs};
 use serde::{Deserialize, Serialize};
-use simcore::{DetRng, EventId, Scheduler, SimDuration, SimTime};
+use simcore::{par, DetRng, EventId, Scheduler, SimDuration, SimTime};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -114,7 +119,9 @@ pub fn micro_ids() -> &'static [&'static str] {
         "snapshot_churn",
         "create_churn",
         "sim_hotpath",
+        "sim_hotpath_mt",
         "stress_grid",
+        "stress_grid_mt",
     ]
 }
 
@@ -238,7 +245,32 @@ impl HotpathGeometry {
 /// deliveries (the `ops` headline).
 fn run_sim_hotpath(quick: bool) -> u64 {
     let g = HotpathGeometry::new(quick);
-    let mut rng = DetRng::new(0xD1CE);
+    hotpath_lane(g.population, g.deliveries, 0xD1CE)
+}
+
+/// `sim_hotpath` across independent schedulers: the same total delivery
+/// budget split over four lanes, each lane a private [`Scheduler`] driven by
+/// [`hotpath_lane`], dispatched with [`par::run_independent`] on
+/// `--sim-threads` OS threads (default 4). The per-lane op counts are pure
+/// functions of the lane index, so the headline is deterministic at every
+/// thread count; the wall-clock measures how well independent event loops
+/// scale across cores.
+fn run_sim_hotpath_mt(quick: bool) -> u64 {
+    const LANES: usize = 4;
+    let g = HotpathGeometry::new(quick);
+    let threads = cluster::sim_threads().unwrap_or(LANES);
+    let (pop, deliveries) = (g.population / LANES, g.deliveries / LANES as u64);
+    par::run_independent(LANES, threads, |lane| {
+        hotpath_lane(pop, deliveries, 0xD1CE ^ (lane as u64) << 8)
+    })
+    .into_iter()
+    .sum()
+}
+
+/// One `sim_hotpath` event loop: `population` steady-state pending events,
+/// `deliveries` timed pops, delay tables drawn from `seed`.
+fn hotpath_lane(population: usize, deliveries: u64, seed: u64) -> u64 {
+    let mut rng = DetRng::new(seed);
     // Pre-draw the delay sequences so the timed loop measures the scheduler,
     // not the RNG. Every 16th near-delta is zero (same-instant FIFO path).
     const TABLE: usize = 4_096;
@@ -255,7 +287,7 @@ fn run_sim_hotpath(quick: bool) -> u64 {
         .map(|_| SimDuration::from_nanos(rng.uniform_u64(10_000_000, 1_000_000_000)))
         .collect();
     let mut s: Scheduler<u64> = Scheduler::new();
-    for i in 0..g.population {
+    for i in 0..population {
         let at = SimTime::ZERO + near[i % TABLE].max(SimDuration::from_nanos(1));
         s.schedule_at(at, i as u64);
     }
@@ -264,7 +296,7 @@ fn run_sim_hotpath(quick: bool) -> u64 {
     const RING: usize = 512;
     let mut ring: Vec<Option<EventId>> = vec![None; RING];
     let mut ring_at = 0usize;
-    for n in 0..g.deliveries {
+    for n in 0..deliveries {
         let (_, payload) = s.pop().expect("population never drains");
         s.schedule_after(near[(n as usize) % TABLE], payload);
         if n % 8 == 0 {
@@ -275,7 +307,7 @@ fn run_sim_hotpath(quick: bool) -> u64 {
             ring_at = (ring_at + 1) % RING;
         }
     }
-    g.deliveries
+    deliveries
 }
 
 /// The fixed synthetic substrate under the `stress_grid` sweep: a [`DistFs`]
@@ -286,22 +318,30 @@ fn run_sim_hotpath(quick: bool) -> u64 {
 /// parameter sweeps.
 struct GridFs {
     servers: usize,
-    /// Round-robin cursor over servers (deterministic: `plan` calls happen
-    /// in engine order).
-    next_server: usize,
+    /// Per-client plan counters: server selection is a pure function of
+    /// `(node, proc, per-client op index)`, so the plan stream each client
+    /// sees is independent of how clients interleave — the property that
+    /// lets a domain replica answer for its own clients bit-identically to
+    /// the unsplit model.
+    calls: HashMap<(usize, usize), u64>,
     /// Every 4th plan wraps its server stage in the shared semaphore when
     /// the mix asks for lock traffic.
     planned: u64,
     use_sem: bool,
+    /// Whether this instance may offer a domain decomposition (disabled for
+    /// the cell-parallel `stress_grid_mt`, which must not nest the windowed
+    /// engine inside its own worker threads).
+    partition_ok: bool,
 }
 
 impl GridFs {
     fn new(servers: usize, use_sem: bool) -> Self {
         GridFs {
             servers,
-            next_server: 0,
+            calls: HashMap::new(),
             planned: 0,
             use_sem,
+            partition_ok: true,
         }
     }
 }
@@ -315,24 +355,49 @@ impl DistFs for GridFs {
                     parallelism: 2,
                 })
                 .collect(),
-            semaphores: vec![SemSpec {
-                name: "grid-lock".to_owned(),
-                permits: 2,
-            }],
+            semaphores: if self.use_sem {
+                vec![SemSpec {
+                    name: "grid-lock".to_owned(),
+                    permits: 2,
+                }]
+            } else {
+                Vec::new()
+            },
         }
     }
 
     fn register_clients(&mut self, _nodes: usize) {}
 
+    fn partition(&self, nodes: usize) -> Option<PartitionPlan> {
+        if self.use_sem || !self.partition_ok {
+            return None; // the shared semaphore couples every domain
+        }
+        let domains = self.servers.min(nodes);
+        if domains < 2 {
+            return None;
+        }
+        Some(PartitionPlan {
+            server_domain: (0..self.servers).map(|s| s % domains).collect(),
+            node_domain: (0..nodes).map(|n| n % domains).collect(),
+            models: (0..domains)
+                .map(|_| Box::new(GridFs::new(self.servers, false)) as Box<dyn DistFs>)
+                .collect(),
+            // both NetDelay stages below are exactly this long, and they are
+            // the only cross-domain interaction
+            lookahead: SimDuration::from_micros(50),
+        })
+    }
+
     fn plan(
         &mut self,
-        _client: ClientCtx,
+        client: ClientCtx,
         op: &MetaOp,
         _now: SimTime,
         _rng: &mut DetRng,
     ) -> FsResult<OpPlan> {
-        let server = ServerId(self.next_server);
-        self.next_server = (self.next_server + 1) % self.servers;
+        let calls = self.calls.entry((client.node, client.proc)).or_insert(0);
+        let server = ServerId((client.node * 4 + client.proc + *calls as usize) % self.servers);
+        *calls += 1;
         self.planned += 1;
         // Cost depends only on the op kind: creates are "writes" (heavier
         // service demand), everything else is a cheap lookup.
@@ -373,10 +438,19 @@ impl DistFs for GridFs {
 
 /// One cell of the stress grid: `workers` workers (4 per node) against
 /// `servers` stations, issuing `ops_per_worker` ops of the given mix.
-/// Returns ops completed.
-fn run_grid_cell(workers: usize, servers: usize, mix: &str, ops_per_worker: u64) -> u64 {
+/// `partitioned` lets the model offer a domain decomposition (so
+/// `--sim-threads` routes eligible cells to the windowed engine); the
+/// op-count result is identical either way. Returns ops completed.
+fn run_grid_cell(
+    workers: usize,
+    servers: usize,
+    mix: &str,
+    ops_per_worker: u64,
+    partitioned: bool,
+) -> u64 {
     let use_sem = mix == "mixed";
     let mut model = GridFs::new(servers, use_sem);
+    model.partition_ok = partitioned;
     let nodes = workers.div_ceil(4).max(1);
     let node_names: Vec<String> = (0..nodes).map(|i| format!("gn{i}")).collect();
     let specs: Vec<WorkerSpec> = (0..workers)
@@ -418,23 +492,50 @@ fn run_grid_cell(workers: usize, servers: usize, mix: &str, ops_per_worker: u64)
     res.total_ops()
 }
 
-/// Task-Bench-style stress grid: sweep workers × servers × op-mix over the
-/// fixed [`GridFs`] substrate. Returns total ops across all cells.
-fn run_stress_grid(quick: bool) -> u64 {
+/// The cell axes of the stress grid.
+fn grid_cells(quick: bool) -> (Vec<(usize, usize, &'static str)>, u64) {
     let (worker_axis, server_axis, ops_per_worker): (&[usize], &[usize], u64) = if quick {
         (&[4, 16], &[1, 4], 100)
     } else {
         (&[4, 16, 64], &[1, 4, 16], 400)
     };
-    let mut ops = 0u64;
+    let mut cells = Vec::new();
     for &w in worker_axis {
         for &s in server_axis {
             for mix in ["create", "stat", "mixed"] {
-                ops += run_grid_cell(w, s, mix, ops_per_worker);
+                cells.push((w, s, mix));
             }
         }
     }
-    ops
+    (cells, ops_per_worker)
+}
+
+/// Task-Bench-style stress grid: sweep workers × servers × op-mix over the
+/// fixed [`GridFs`] substrate. Returns total ops across all cells.
+fn run_stress_grid(quick: bool) -> u64 {
+    let (cells, ops_per_worker) = grid_cells(quick);
+    cells
+        .iter()
+        .map(|&(w, s, mix)| run_grid_cell(w, s, mix, ops_per_worker, true))
+        .sum()
+}
+
+/// The stress grid with cell-level parallelism: every cell is an
+/// independent simulation (own model, scheduler, RNG), so the sweep runs
+/// cells concurrently on `--sim-threads` OS threads (default 4) via
+/// [`par::run_independent`], largest cells first (LPT order) for the best
+/// makespan. Each cell itself runs the classic sequential engine — results
+/// are the per-cell op counts, summed, identical at every thread count.
+fn run_stress_grid_mt(quick: bool) -> u64 {
+    let threads = cluster::sim_threads().unwrap_or(4);
+    let (mut cells, ops_per_worker) = grid_cells(quick);
+    cells.sort_by_key(|&(w, s, _)| std::cmp::Reverse((w, s)));
+    par::run_independent(cells.len(), threads, |i| {
+        let (w, s, mix) = cells[i];
+        run_grid_cell(w, s, mix, ops_per_worker, false)
+    })
+    .into_iter()
+    .sum()
 }
 
 /// Run one benchable scenario once; returns the op count (0 for suite
@@ -448,7 +549,9 @@ fn run_once(id: &str) -> Result<u64, String> {
         "snapshot_churn" => Ok(run_churn(false, true)),
         "create_churn" => Ok(run_churn(false, false)),
         "sim_hotpath" => Ok(run_sim_hotpath(false)),
+        "sim_hotpath_mt" => Ok(run_sim_hotpath_mt(false)),
         "stress_grid" => Ok(run_stress_grid(false)),
+        "stress_grid_mt" => Ok(run_stress_grid_mt(false)),
         _ => {
             let scenario =
                 suite::find(id).ok_or_else(|| format!("unknown bench scenario `{id}`"))?;
@@ -464,7 +567,9 @@ fn run_once_quick(id: &str) -> Result<u64, String> {
         "snapshot_churn" => Ok(run_churn(true, true)),
         "create_churn" => Ok(run_churn(true, false)),
         "sim_hotpath" => Ok(run_sim_hotpath(true)),
+        "sim_hotpath_mt" => Ok(run_sim_hotpath_mt(true)),
         "stress_grid" => Ok(run_stress_grid(true)),
+        "stress_grid_mt" => Ok(run_stress_grid_mt(true)),
         _ => run_once(id),
     }
 }
@@ -613,6 +718,27 @@ pub fn compare_files(old: &Path, new: &Path, threshold_pct: f64) -> Result<Bench
     compare_reports(&load_report(old)?, &load_report(new)?, threshold_pct)
 }
 
+/// Render comparison deltas as a GitHub-flavoured Markdown table
+/// (`bench --compare ... --emit-md`).
+pub fn deltas_to_markdown(deltas: &[BenchDelta]) -> String {
+    let mut md = String::from(
+        "| scenario | old median (s) | new median (s) | delta | speedup | verdict |\n\
+         |---|---:|---:|---:|---:|---|\n",
+    );
+    for d in deltas {
+        md.push_str(&format!(
+            "| {} | {:.4} | {:.4} | {:+.1}% | {:.2}x | {} |\n",
+            d.scenario,
+            d.old_median_secs,
+            d.new_median_secs,
+            d.delta_pct,
+            d.speedup,
+            if d.regression { "regression" } else { "ok" }
+        ));
+    }
+    md
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,9 +784,31 @@ mod tests {
     }
 
     #[test]
+    fn sim_hotpath_mt_delivers_the_same_total() {
+        // four lanes × 50k deliveries = the sequential quick budget
+        assert_eq!(run_sim_hotpath_mt(true), 200_000);
+    }
+
+    #[test]
     fn stress_grid_completes_every_cell() {
         // quick grid: (4+16) workers × {1,4} servers × 3 mixes × 100 ops
         assert_eq!(run_stress_grid(true), (4 + 16) * 2 * 3 * 100);
+    }
+
+    #[test]
+    fn stress_grid_mt_completes_every_cell() {
+        assert_eq!(run_stress_grid_mt(true), (4 + 16) * 2 * 3 * 100);
+    }
+
+    #[test]
+    fn partitionable_grid_cell_matches_classic_engine() {
+        // the same cell through the classic engine and the windowed engine
+        // (2 domains) must complete the same ops
+        let classic = run_grid_cell(16, 4, "create", 50, false);
+        cluster::set_sim_threads(Some(2));
+        let windowed = run_grid_cell(16, 4, "create", 50, true);
+        cluster::set_sim_threads(None);
+        assert_eq!(classic, windowed);
     }
 
     fn fake_report(scenario: &str, median: f64) -> BenchReport {
@@ -693,6 +841,16 @@ mod tests {
         let d = compare_reports(&old, &faster, 10.0).expect("compare");
         assert!(!d.regression);
         assert!((d.speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_table_lists_each_delta() {
+        let old = fake_report("grid", 2.0);
+        let new = fake_report("grid", 1.0);
+        let d = compare_reports(&old, &new, 10.0).expect("compare");
+        let md = deltas_to_markdown(&[d]);
+        assert!(md.starts_with("| scenario |"));
+        assert!(md.contains("| grid | 2.0000 | 1.0000 | -50.0% | 2.00x | ok |"));
     }
 
     #[test]

@@ -42,15 +42,22 @@ ANALYZE OPTIONS:
 
 BENCH OPTIONS:
   --scenarios <A,B,...>      micro workloads (snapshot_churn, create_churn,
-                             sim_hotpath, stress_grid) or suite ids
+                             sim_hotpath, sim_hotpath_mt, stress_grid,
+                             stress_grid_mt) or suite ids
                                       [default: snapshot_churn,create_churn]
   --reps <N>                 timed repetitions after one warmup   [default: 5]
   --quick                    reduced workload geometry (CI smoke)
+  --sim-threads <N>          OS threads for the _mt micros and for
+                             partitionable simulated runs (windowed engine;
+                             results bit-identical at any N)
   --out <DIR>                directory for BENCH_<id>.json        [default: .]
   --list                     list benchable scenarios and exit
   --compare <OLD> <NEW>      diff two BENCH_*.json files (same scenario) and
                              print the median delta instead of running
-                             anything; exits non-zero on regression
+                             anything; may be repeated; exits non-zero on
+                             regression
+  --emit-md <PATH>           with --compare: also write the deltas as a
+                             Markdown table to PATH
   --threshold <PCT>          slowdown (%) that counts as a regression
                              for --compare                       [default: 10]
   --informational            with --compare: report the delta but always
@@ -59,6 +66,10 @@ BENCH OPTIONS:
 SUITE OPTIONS:
   --filter <SUBSTR>          only scenarios whose id contains SUBSTR
   --jobs <N>                 worker threads          [default: available cores]
+  --sim-threads <N>          OS threads for partitionable simulated runs
+                             (conservative windowed engine; results are
+                             bit-identical at any N — blessed baselines and
+                             goldens do not change)
   --bless                    rewrite baselines/*.json from this run
   --emit-md <PATH>           regenerate EXPERIMENTS.md at PATH
   --list                     list registered scenarios and exit
@@ -94,6 +105,10 @@ OPTIONS:
   --label <TEXT>             result label                 [default: cli-run]
   --output <DIR>             write result files here
   --threads <N>              real mode: max worker threads [default: 4]
+  --sim-threads <N>          sim mode: OS threads for partitionable models
+                             (conservative windowed engine, bit-identical
+                             results at any N; non-partitionable models run
+                             the classic sequential engine regardless)
   --trace-out <DIR>          write a Chrome trace (<label>.trace.json) and a
                              metrics summary (<label>.metrics.json) into DIR
   --metrics                  print the run's metrics summary JSON
@@ -118,6 +133,16 @@ struct Cli {
     trace_out: Option<PathBuf>,
     metrics: bool,
     params: BenchParams,
+}
+
+/// Parse a `--sim-threads` value and apply it process-wide.
+fn set_sim_threads_arg(raw: &str) -> Result<(), String> {
+    let n: usize = raw.parse().map_err(|e| format!("--sim-threads: {e}"))?;
+    if n == 0 {
+        return Err("--sim-threads must be at least 1".into());
+    }
+    cluster::set_sim_threads(Some(n));
+    Ok(())
 }
 
 fn parse_args() -> Result<Option<Cli>, String> {
@@ -180,6 +205,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--sim-threads" => set_sim_threads_arg(&value("--sim-threads")?)?,
             "--operations" => {
                 cli.params.operations = value("--operations")?
                     .split(',')
@@ -318,6 +344,7 @@ fn parse_suite_args(args: &[String]) -> Result<Option<SuiteCli>, String> {
             "--list" => cli.list = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics" => cli.metrics = true,
+            "--sim-threads" => set_sim_threads_arg(&value("--sim-threads")?)?,
             other => return Err(format!("unknown suite option '{other}' (try --help)")),
         }
     }
@@ -627,7 +654,8 @@ struct BenchCli {
     quick: bool,
     out: PathBuf,
     list: bool,
-    compare: Option<(PathBuf, PathBuf)>,
+    compare: Vec<(PathBuf, PathBuf)>,
+    emit_md: Option<PathBuf>,
     threshold_pct: f64,
     informational: bool,
 }
@@ -639,7 +667,8 @@ fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
         quick: false,
         out: PathBuf::from("."),
         list: false,
-        compare: None,
+        compare: Vec::new(),
+        emit_md: None,
         threshold_pct: 10.0,
         informational: false,
     };
@@ -676,6 +705,7 @@ fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
             "--quick" => cli.quick = true,
             "--out" => cli.out = PathBuf::from(value("--out")?),
             "--list" => cli.list = true,
+            "--sim-threads" => set_sim_threads_arg(&value("--sim-threads")?)?,
             "--compare" => {
                 let old = PathBuf::from(value("--compare")?);
                 let new = PathBuf::from(
@@ -683,8 +713,9 @@ fn parse_bench_args(args: &[String]) -> Result<Option<BenchCli>, String> {
                         .cloned()
                         .ok_or("--compare needs two files: <OLD> <NEW>")?,
                 );
-                cli.compare = Some((old, new));
+                cli.compare.push((old, new));
             }
+            "--emit-md" => cli.emit_md = Some(PathBuf::from(value("--emit-md")?)),
             "--threshold" => {
                 cli.threshold_pct = value("--threshold")?
                     .parse()
@@ -718,27 +749,44 @@ fn bench_main(args: &[String]) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if let Some((old, new)) = &cli.compare {
-        let delta = match bench::compare_files(old, new, cli.threshold_pct) {
-            Ok(d) => d,
-            Err(msg) => {
-                eprintln!("error: {msg}");
+    if !cli.compare.is_empty() {
+        let mut deltas = Vec::with_capacity(cli.compare.len());
+        for (old, new) in &cli.compare {
+            let delta = match bench::compare_files(old, new, cli.threshold_pct) {
+                Ok(d) => d,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{:24} median {:>9.4}s -> {:>9.4}s  {:+.1}% ({:.2}x)  {}",
+                delta.scenario,
+                delta.old_median_secs,
+                delta.new_median_secs,
+                delta.delta_pct,
+                delta.speedup,
+                if delta.regression { "REGRESSION" } else { "ok" }
+            );
+            deltas.push(delta);
+        }
+        if let Some(path) = &cli.emit_md {
+            if let Err(msg) = std::fs::write(path, bench::deltas_to_markdown(&deltas)) {
+                eprintln!("error: cannot write {}: {msg}", path.display());
                 return ExitCode::FAILURE;
             }
-        };
-        println!(
-            "{:24} median {:>9.4}s -> {:>9.4}s  {:+.1}% ({:.2}x)  {}",
-            delta.scenario,
-            delta.old_median_secs,
-            delta.new_median_secs,
-            delta.delta_pct,
-            delta.speedup,
-            if delta.regression { "REGRESSION" } else { "ok" }
-        );
-        if delta.regression && !cli.informational {
+            eprintln!("wrote {}", path.display());
+        }
+        let regressions: Vec<&str> = deltas
+            .iter()
+            .filter(|d| d.regression)
+            .map(|d| d.scenario.as_str())
+            .collect();
+        if !regressions.is_empty() && !cli.informational {
             eprintln!(
-                "error: {} regressed by {:.1}% (> {:.1}% threshold)",
-                delta.scenario, delta.delta_pct, cli.threshold_pct
+                "error: regression(s) beyond {:.1}% threshold: {}",
+                cli.threshold_pct,
+                regressions.join(", ")
             );
             return ExitCode::FAILURE;
         }

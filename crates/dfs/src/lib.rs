@@ -64,8 +64,8 @@ pub use nfs::{NfsConfig, NfsFs, NFS_SERVER};
 pub use ontapgx::{OntapGxConfig, OntapGxFs, VolumeSpec};
 pub use op::MetaOp;
 pub use plan::{
-    BackgroundJob, ClientCtx, DistFs, FaultStats, FsResources, OpPlan, SemId, SemSpec, ServerId,
-    ServerSpec, Stage, TimerAction,
+    BackgroundJob, ClientCtx, DistFs, FaultStats, FsResources, OpPlan, PartitionPlan, SemId,
+    SemSpec, ServerId, ServerSpec, Stage, TimerAction,
 };
 pub use pvfs::{PvfsConfig, PvfsFs, PVFS_MDS};
 pub use recovery::RetryPolicy;

@@ -206,6 +206,45 @@ pub struct TimerAction {
     pub pauses: Vec<(ServerId, SimDuration)>,
 }
 
+/// A domain decomposition of a model for the conservative parallel engine.
+///
+/// Returned by [`DistFs::partition`] when (and only when) the model's
+/// servers and client state split into groups that interact **solely
+/// through the network** — no shared semaphores, no shared caches, no
+/// global timers. The cluster engine then runs one scheduler per domain in
+/// synchronized lookahead windows (`simcore::par`), with cross-domain RPCs
+/// carried by mailbox messages.
+///
+/// The decomposition is a property of the *model*, never of the host: the
+/// same plan is used at every `--sim-threads` value (including 1), which is
+/// what makes partitioned results bit-identical across thread counts.
+pub struct PartitionPlan {
+    /// Domain of each server, indexed by [`ServerId`]. Length must equal
+    /// the model's declared server count.
+    pub server_domain: Vec<usize>,
+    /// Domain of each client node, indexed by node. Length must equal the
+    /// node count of the run.
+    pub node_domain: Vec<usize>,
+    /// One independent model replica per domain. Replica `d` answers
+    /// [`DistFs::plan`] for clients in domain `d` only; correctness
+    /// requires that its answers for those clients match what the unsplit
+    /// model would have produced (i.e. client-visible model state must
+    /// already be per-node/per-server along the domain boundaries).
+    pub models: Vec<Box<dyn DistFs>>,
+    /// Conservative lookahead: a lower bound on the virtual-time distance
+    /// of any cross-domain interaction (for network-shaped models, the
+    /// minimum cross-domain link latency — see `netsim::Topology::lookahead`).
+    pub lookahead: SimDuration,
+}
+
+impl PartitionPlan {
+    /// Number of domains.
+    #[must_use]
+    pub fn domains(&self) -> usize {
+        self.models.len()
+    }
+}
+
 /// A distributed-file-system behavioural model.
 ///
 /// Implementations perform the *semantic* operation eagerly on their
@@ -282,6 +321,20 @@ pub trait DistFs: Send {
     /// grid as worker progress samples — implementations must be pure
     /// observers: no RNG draws, no state mutation.
     fn sample_gauges(&self, _emit: &mut dyn FnMut(&'static str, u64)) {}
+
+    /// Offer a domain decomposition for the conservative parallel engine.
+    ///
+    /// `nodes` is the client-node count of the run. Models whose state
+    /// genuinely splits (independent server groups, per-node client state,
+    /// no cross-domain semaphores) return a [`PartitionPlan`]; the default
+    /// `None` keeps the model on the sequential engine at any
+    /// `--sim-threads` value, which is always correct. The five paper
+    /// models share a central MDS/filer (every client talks to every
+    /// server through shared caches and semaphores), so they inherit the
+    /// default.
+    fn partition(&self, _nodes: usize) -> Option<PartitionPlan> {
+        None
+    }
 
     /// Drop all client-side caches on `node` (paper §3.4.3).
     fn drop_caches(&mut self, node: usize);

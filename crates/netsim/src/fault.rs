@@ -349,6 +349,23 @@ impl FaultPlan {
         })
     }
 
+    /// Lower bound on the composed latency factor over the whole schedule:
+    /// the product of every degradation window with factor < 1 (windows
+    /// that *slow* links never shrink a latency, so they are ignored).
+    /// `1.0` when no window can speed a link up — the common case.
+    ///
+    /// Conservative-lookahead extraction multiplies link latency bounds by
+    /// this, so partitioned execution stays safe even while a fault window
+    /// is rewriting link characteristics.
+    #[must_use]
+    pub fn min_latency_factor(&self) -> f64 {
+        self.degrades
+            .iter()
+            .map(|&(_, _, f)| f)
+            .filter(|f| *f < 1.0)
+            .product()
+    }
+
     /// Is an RPC attempt at `now` lost? Draws from the plan's private
     /// stream **only** inside a loss window — outside every window this is
     /// a pure predicate and the stream does not advance.

@@ -127,6 +127,19 @@ impl LinkSpec {
         total
     }
 
+    /// Lower bound on this link's one-way latency: the base latency under
+    /// worst-case downward jitter (`latency × (1 − jitter)`), ignoring the
+    /// transmit term (payload may be zero). This is the per-link input to
+    /// conservative-lookahead extraction ([`Topology::lookahead`]).
+    #[must_use]
+    pub fn min_latency(&self) -> SimDuration {
+        if self.jitter > 0.0 {
+            self.latency.mul_f64(1.0 - self.jitter)
+        } else {
+            self.latency
+        }
+    }
+
     /// This link with a degradation applied: latency multiplied, bandwidth
     /// divided (jitter untouched — it is relative).
     pub fn degraded(&self, d: fault::Degradation) -> LinkSpec {
@@ -308,6 +321,70 @@ impl Topology {
             .one_way_at(payload, now, self.faults.as_ref(), rng)
     }
 
+    /// Minimum one-way latency across **every** link of the topology (all
+    /// overrides plus the default link), fault-plan aware: jittered links
+    /// are lower-bounded by their worst-case downward jitter, and latency
+    /// speed-up degradation windows (factor < 1) scale the bound further.
+    ///
+    /// This is a safe global lookahead for any partitioning of the
+    /// endpoints; [`Topology::lookahead`] gives the (usually larger) bound
+    /// for one specific partitioning.
+    #[must_use]
+    pub fn min_link_latency(&self) -> SimDuration {
+        let base = self
+            .links
+            .values()
+            .map(LinkSpec::min_latency)
+            .chain(std::iter::once(self.default_link.min_latency()))
+            .min()
+            .unwrap_or(self.default_link.min_latency());
+        self.apply_fault_floor(base)
+    }
+
+    /// Conservative lookahead for a domain partitioning: a lower bound on
+    /// the one-way latency of any message between endpoints mapped to
+    /// *different* domains by `domain_of`. Intra-domain links (including
+    /// the implicit [`LinkSpec::local`] self-link) do not constrain the
+    /// bound — that is the whole point of partitioning along the network's
+    /// fault lines.
+    ///
+    /// Returns `None` when every endpoint lands in one domain (no cross
+    /// traffic, lookahead unbounded). Fault-plan aware like
+    /// [`Topology::min_link_latency`].
+    #[must_use]
+    pub fn lookahead(&self, domain_of: impl Fn(Endpoint) -> usize) -> Option<SimDuration> {
+        let n = u32::try_from(self.names.len()).expect("endpoint count overflow");
+        let mut min: Option<SimDuration> = None;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (a, b) = (Endpoint(a), Endpoint(b));
+                if domain_of(a) == domain_of(b) {
+                    continue;
+                }
+                let lat = self.link(a, b).min_latency();
+                min = Some(min.map_or(lat, |m| m.min(lat)));
+            }
+        }
+        min.map(|m| self.apply_fault_floor(m))
+    }
+
+    /// Scale a latency lower bound by the fault plan's worst-case latency
+    /// *speed-up* (degradation windows with factor < 1). Slow-down windows
+    /// (factor ≥ 1) only delay messages and never invalidate a lower bound.
+    fn apply_fault_floor(&self, bound: SimDuration) -> SimDuration {
+        match self.faults.as_ref() {
+            Some(plan) => {
+                let floor = plan.min_latency_factor();
+                if floor < 1.0 {
+                    bound.mul_f64(floor)
+                } else {
+                    bound
+                }
+            }
+            None => bound,
+        }
+    }
+
     /// Fault-aware [`Topology::rtt`] (consults the attached plan).
     pub fn rtt_at(
         &self,
@@ -470,5 +547,57 @@ mod tests {
                 t.rtt(Endpoint(0), Endpoint(1), 128, 128, &mut r2)
             );
         }
+    }
+
+    #[test]
+    fn min_link_latency_covers_overrides_and_jitter() {
+        let mut t = Topology::new(LinkSpec::lan()); // 100 µs default
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        t.add_endpoint("c");
+        assert_eq!(t.min_link_latency(), SimDuration::from_micros(100));
+        t.set_link(a, b, LinkSpec::ten_gige().with_jitter(0.2)); // 50 µs ± 20%
+        assert_eq!(t.min_link_latency(), SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn lookahead_ignores_intra_domain_links() {
+        let mut t = Topology::new(LinkSpec::lan()); // 100 µs default
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        let c = t.add_endpoint("c");
+        // fast link inside one domain must not shrink the cross bound
+        t.set_link(a, b, LinkSpec::local()); // 5 µs, same domain below
+        t.set_link(a, c, LinkSpec::ten_gige()); // 50 µs, cross
+        let domain_of = |ep: Endpoint| usize::from(ep == c);
+        assert_eq!(t.lookahead(domain_of), Some(SimDuration::from_micros(50)));
+        // everything in one domain: no cross traffic, no bound
+        assert_eq!(t.lookahead(|_| 0), None);
+    }
+
+    #[test]
+    fn lookahead_respects_fault_speedups() {
+        let mut t = Topology::new(LinkSpec::lan()); // 100 µs
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        // slow-down windows don't change a lower bound…
+        t.set_fault_plan(
+            fault::FaultSpec::parse("degrade@0s..60s:4x")
+                .unwrap()
+                .build(),
+        );
+        assert_eq!(
+            t.lookahead(|ep| ep.0 as usize),
+            Some(SimDuration::from_micros(100))
+        );
+        // …a speed-up window (factor < 1) must scale it
+        let mut spec = fault::FaultSpec::parse("degrade@0s..60s:4x").unwrap();
+        spec = spec.degrade(SimTime::ZERO, SimTime::from_secs(10), 0.5);
+        t.set_fault_plan(spec.build());
+        assert_eq!(
+            t.lookahead(|ep| ep.0 as usize),
+            Some(SimDuration::from_micros(50))
+        );
+        let _ = (a, b);
     }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod lock;
+pub mod par;
 pub mod prof;
 mod ps;
 mod resource;

@@ -11,6 +11,16 @@
 //! feeds baselines or traces; it is printed on demand (`dmetabench analyze`
 //! with `DMETABENCH_PROF=1`) and thrown away.
 //!
+//! # Threads
+//!
+//! Scopes accumulate into a **thread-local** table (no lock on the hot
+//! path) which is folded into the global registry when the thread exits —
+//! both the parallel suite runner and the partitioned simulation engine run
+//! their workers on scoped threads, so their samples are all merged by the
+//! time the main thread reads [`snapshot`]. A thread that wants its numbers
+//! visible earlier (or that never exits, like the main thread) calls
+//! [`flush`]; [`snapshot`]/[`report`] flush the calling thread themselves.
+//!
 //! # Example
 //!
 //! ```
@@ -26,6 +36,7 @@
 //! assert!(snap.iter().any(|(name, calls, _)| *name == "doctest.work" && *calls >= 1));
 //! ```
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -36,6 +47,40 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 fn registry() -> &'static Mutex<BTreeMap<&'static str, (u64, u128)>> {
     static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, (u64, u128)>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Per-thread accumulation buffer. Its `Drop` runs as the thread-local
+/// destructor on thread exit, folding whatever the thread measured into the
+/// global registry — that is what keeps the profile truthful when scopes run
+/// on suite-runner or simulation-engine worker threads.
+#[derive(Default)]
+struct LocalAgg {
+    map: BTreeMap<&'static str, (u64, u128)>,
+}
+
+impl LocalAgg {
+    fn flush_into_registry(&mut self) {
+        if self.map.is_empty() {
+            return;
+        }
+        if let Ok(mut reg) = registry().lock() {
+            for (name, (calls, ns)) in std::mem::take(&mut self.map) {
+                let e = reg.entry(name).or_insert((0, 0));
+                e.0 += calls;
+                e.1 += ns;
+            }
+        }
+    }
+}
+
+impl Drop for LocalAgg {
+    fn drop(&mut self) {
+        self.flush_into_registry();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalAgg> = RefCell::new(LocalAgg::default());
 }
 
 /// Whether profiling is on. One relaxed atomic load — the only cost an
@@ -60,8 +105,9 @@ pub fn init_from_env() -> bool {
     enabled()
 }
 
-/// A running scoped timer; its `Drop` adds the elapsed wall time to the
-/// global registry under `name`.
+/// A running scoped timer; its `Drop` adds the elapsed wall time to this
+/// thread's accumulation buffer under `name` (folded into the global
+/// registry on thread exit or [`flush`]).
 #[must_use = "a profiling scope measures until dropped"]
 #[derive(Debug)]
 pub struct Scope {
@@ -72,12 +118,22 @@ pub struct Scope {
 impl Drop for Scope {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed().as_nanos();
-        if let Ok(mut reg) = registry().lock() {
-            let e = reg.entry(self.name).or_insert((0, 0));
+        // No lock: per-scope cost is a thread-local BTreeMap update, so
+        // concurrent engine workers don't serialize on a global mutex.
+        let _ = LOCAL.try_with(|local| {
+            let mut local = local.borrow_mut();
+            let e = local.map.entry(self.name).or_insert((0, 0));
             e.0 += 1;
             e.1 += elapsed;
-        }
+        });
     }
+}
+
+/// Fold the calling thread's accumulation buffer into the global registry.
+/// Worker threads flush automatically on exit; long-lived threads (the main
+/// thread) call this — or [`snapshot`]/[`report`], which flush for them.
+pub fn flush() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().flush_into_registry());
 }
 
 /// Start a scoped timer under `name`, or `None` when profiling is off.
@@ -95,8 +151,11 @@ pub fn scope(name: &'static str) -> Option<Scope> {
 }
 
 /// Current aggregates as `(name, calls, total_ns)`, sorted by name.
+/// Flushes the calling thread's buffer first; exited worker threads have
+/// already flushed theirs.
 #[must_use]
 pub fn snapshot() -> Vec<(&'static str, u64, u128)> {
+    flush();
     registry()
         .lock()
         .map(|reg| {
@@ -107,8 +166,11 @@ pub fn snapshot() -> Vec<(&'static str, u64, u128)> {
         .unwrap_or_default()
 }
 
-/// Clear all aggregates (e.g. between benchmark phases).
+/// Clear all aggregates (e.g. between benchmark phases). Clears the global
+/// registry and the calling thread's buffer; buffers of still-running other
+/// threads are out of reach and fold in whenever those threads exit.
 pub fn reset() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().map.clear());
     if let Ok(mut reg) = registry().lock() {
         reg.clear();
     }
@@ -172,5 +234,28 @@ mod tests {
         assert!(row.1 >= 3, "calls: {}", row.1);
         let rep = report();
         assert!(rep.contains("prof.test.enabled"), "{rep}");
+    }
+
+    #[test]
+    fn worker_thread_scopes_fold_into_global_registry() {
+        set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        let _t = scope("prof.test.worker");
+                        std::hint::black_box(());
+                    }
+                    // no explicit flush: the thread-local destructor flushes
+                });
+            }
+        });
+        set_enabled(false);
+        let snap = snapshot();
+        let row = snap
+            .iter()
+            .find(|(name, _, _)| *name == "prof.test.worker")
+            .expect("worker scopes aggregated after thread exit");
+        assert!(row.1 >= 20, "calls: {}", row.1);
     }
 }

@@ -342,6 +342,76 @@ impl Sink {
     }
 }
 
+/// Merge `src` into `dst`: pids and causal ids are renumbered past `dst`'s
+/// counters, label ids are re-interned through `src`'s name table, counters
+/// sum and histograms combine. Shared by [`TelemetryReport::merge`] (report
+/// level) and [`absorb`] (into the live thread-local sink).
+fn merge_sinks(dst: &mut Sink, src: &Sink) {
+    let pid_base = dst.next_pid;
+    dst.next_pid += src.next_pid;
+    // causal ids are renumbered exactly like pids so merged reports stay
+    // collision-free (0 stays 0 — the "no id" sentinel)
+    let id_base = dst.next_id;
+    dst.next_id += src.next_id;
+    let shift = |id: u64| if id == 0 { 0 } else { id + id_base };
+    for p in &src.processes {
+        dst.processes.push(ProcessMeta {
+            pid: p.pid + pid_base,
+            name: p.name.clone(),
+        });
+    }
+    for t in &src.threads {
+        dst.threads.push(ThreadMeta {
+            pid: t.pid + pid_base,
+            tid: t.tid,
+            name: t.name.clone(),
+        });
+    }
+    for e in &src.events {
+        let mut e = *e;
+        e.pid += pid_base;
+        // label ids are per-capture: re-intern through the source sink's
+        // name table into ours
+        e.name = dst.labels.intern(src.labels.name(e.name));
+        e.cat = dst.labels.intern(src.labels.name(e.cat));
+        match e.kind {
+            EvKind::Span => {
+                e.id = shift(e.id);
+                e.parent = shift(e.parent);
+            }
+            EvKind::FlowStart | EvKind::FlowFinish => e.id = shift(e.id),
+            EvKind::Instant | EvKind::Gauge => {}
+        }
+        dst.events.push(e);
+    }
+    for o in &src.ops {
+        let mut o = *o;
+        o.pid += pid_base;
+        o.id = shift(o.id);
+        dst.ops.push(o);
+    }
+    for (idx, v) in src.counters.iter().enumerate() {
+        if let Some(v) = *v {
+            let name = src
+                .labels
+                .name(u32::try_from(idx).expect("label id overflow"));
+            let id = dst.labels.intern(name) as usize;
+            *Sink::slot(&mut dst.counters, id).get_or_insert(0) += v;
+        }
+    }
+    for (idx, h) in src.histograms.iter().enumerate() {
+        if let Some(h) = h {
+            let name = src
+                .labels
+                .name(u32::try_from(idx).expect("label id overflow"));
+            let id = dst.labels.intern(name) as usize;
+            Sink::slot(&mut dst.histograms, id)
+                .get_or_insert_with(LatencyHistogram::default)
+                .merge(h);
+        }
+    }
+}
+
 thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
@@ -392,6 +462,76 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, TelemetryReport) {
     let sink = SINK.with(|s| s.borrow_mut().take()).unwrap_or_default();
     drop(guard);
     (value, TelemetryReport { sink })
+}
+
+/// A detached telemetry recording state — the `(enabled, sink)` pair that
+/// normally lives in this thread's thread-locals, packaged as a movable
+/// (`Send`) value.
+///
+/// This is the building block of *per-domain* capture in the partitioned
+/// parallel engine: each simulation domain owns a `ThreadCapture`; whichever
+/// OS thread is about to execute a domain's events installs the domain's
+/// capture with [`swap_capture`], runs the window, then swaps it back out.
+/// Every event a domain records therefore lands in that domain's own sink
+/// regardless of which thread (or how many threads) executed it, and the
+/// per-domain sinks can be [`absorb`]ed in canonical domain order afterwards
+/// — which is why traces come out byte-identical at any thread count.
+#[derive(Debug)]
+pub struct ThreadCapture {
+    enabled: bool,
+    sink: Option<Sink>,
+}
+
+impl ThreadCapture {
+    /// A fresh enabled capture with an empty sink.
+    #[must_use]
+    pub fn fresh() -> Self {
+        ThreadCapture {
+            enabled: true,
+            sink: Some(Sink::default()),
+        }
+    }
+
+    /// A disabled, sink-less state (the thread default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        ThreadCapture {
+            enabled: false,
+            sink: None,
+        }
+    }
+
+    /// Consume the capture into a report of everything it recorded.
+    #[must_use]
+    pub fn into_report(self) -> TelemetryReport {
+        TelemetryReport {
+            sink: self.sink.unwrap_or_default(),
+        }
+    }
+}
+
+/// Install `next` as this thread's telemetry state and return the previous
+/// state. The returned value restores the thread exactly when swapped back.
+pub fn swap_capture(next: ThreadCapture) -> ThreadCapture {
+    let prev_enabled = ENABLED.with(|e| e.replace(next.enabled));
+    let prev_sink = SINK.with(|s| std::mem::replace(&mut *s.borrow_mut(), next.sink));
+    ThreadCapture {
+        enabled: prev_enabled,
+        sink: prev_sink,
+    }
+}
+
+/// Merge an already-finished report into the telemetry sink currently
+/// installed on this thread (no-op when telemetry is disabled).
+///
+/// Same pid/causal-id renumbering as [`TelemetryReport::merge`], but the
+/// destination is the live capture — this is how per-domain captures from a
+/// partitioned run fold back into the caller's enclosing [`capture`].
+pub fn absorb(other: &TelemetryReport) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|sink| merge_sinks(sink, &other.sink));
 }
 
 /// Start a new trace "process": one simulation-engine run.
@@ -722,71 +862,7 @@ impl TelemetryReport {
     /// events append). Used to combine per-run or per-node captures into one
     /// summary.
     pub fn merge(&mut self, other: &TelemetryReport) {
-        let pid_base = self.sink.next_pid;
-        self.sink.next_pid += other.sink.next_pid;
-        // causal ids are renumbered exactly like pids so merged reports stay
-        // collision-free (0 stays 0 — the "no id" sentinel)
-        let id_base = self.sink.next_id;
-        self.sink.next_id += other.sink.next_id;
-        let shift = |id: u64| if id == 0 { 0 } else { id + id_base };
-        for p in &other.sink.processes {
-            self.sink.processes.push(ProcessMeta {
-                pid: p.pid + pid_base,
-                name: p.name.clone(),
-            });
-        }
-        for t in &other.sink.threads {
-            self.sink.threads.push(ThreadMeta {
-                pid: t.pid + pid_base,
-                tid: t.tid,
-                name: t.name.clone(),
-            });
-        }
-        for e in &other.sink.events {
-            let mut e = *e;
-            e.pid += pid_base;
-            // label ids are per-capture: re-intern through the other report's
-            // name table into ours
-            e.name = self.sink.labels.intern(other.sink.labels.name(e.name));
-            e.cat = self.sink.labels.intern(other.sink.labels.name(e.cat));
-            match e.kind {
-                EvKind::Span => {
-                    e.id = shift(e.id);
-                    e.parent = shift(e.parent);
-                }
-                EvKind::FlowStart | EvKind::FlowFinish => e.id = shift(e.id),
-                EvKind::Instant | EvKind::Gauge => {}
-            }
-            self.sink.events.push(e);
-        }
-        for o in &other.sink.ops {
-            let mut o = *o;
-            o.pid += pid_base;
-            o.id = shift(o.id);
-            self.sink.ops.push(o);
-        }
-        for (idx, v) in other.sink.counters.iter().enumerate() {
-            if let Some(v) = *v {
-                let name = other
-                    .sink
-                    .labels
-                    .name(u32::try_from(idx).expect("label id overflow"));
-                let id = self.sink.labels.intern(name) as usize;
-                *Sink::slot(&mut self.sink.counters, id).get_or_insert(0) += v;
-            }
-        }
-        for (idx, h) in other.sink.histograms.iter().enumerate() {
-            if let Some(h) = h {
-                let name = other
-                    .sink
-                    .labels
-                    .name(u32::try_from(idx).expect("label id overflow"));
-                let id = self.sink.labels.intern(name) as usize;
-                Sink::slot(&mut self.sink.histograms, id)
-                    .get_or_insert_with(LatencyHistogram::default)
-                    .merge(h);
-            }
-        }
+        merge_sinks(&mut self.sink, &other.sink);
     }
 
     /// Serialize as Chrome trace-event JSON (the `traceEvents` array form),

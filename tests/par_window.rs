@@ -1,0 +1,101 @@
+//! Property test: the conservative window runtime (`simcore::par`) executes
+//! exactly the same event set as a single global scheduler. Two toy domains
+//! exchange hop-limited tokens whose forwarding delay always meets the
+//! lookahead; an oracle runs the identical token system on one
+//! [`Scheduler`] with no windows at all. Token trajectories are mutually
+//! independent, so the processed `(time, domain, token)` multiset must
+//! match — for every initial placement and every thread count.
+
+use proptest::prelude::*;
+use simcore::par::{run_conservative, Envelope, Outbox, WindowDomain};
+use simcore::{Scheduler, SimDuration, SimTime};
+
+const LOOKAHEAD: SimDuration = SimDuration::from_nanos(100);
+
+/// Tokens encode `value * 8 + hops_left`.
+fn hops(token: u64) -> u64 {
+    token & 7
+}
+
+/// Forwarding delay: at least the lookahead, value-dependent spread.
+fn forward_delay(token: u64) -> SimDuration {
+    LOOKAHEAD + SimDuration::from_nanos((token >> 3) % 57)
+}
+
+struct TokenDomain {
+    id: usize,
+    sched: Scheduler<u64>,
+    log: Vec<(u64, usize, u64)>,
+}
+
+impl WindowDomain for TokenDomain {
+    type Msg = u64;
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.sched.peek_time()
+    }
+
+    fn deliver(&mut self, env: Envelope<u64>) {
+        self.sched.schedule_at(env.deliver_at, env.msg);
+    }
+
+    fn run_window(&mut self, end: SimTime, out: &mut Outbox<u64>) {
+        while self.sched.peek_time().is_some_and(|t| t < end) {
+            let (now, token) = self.sched.pop().expect("peeked event");
+            self.log.push((now.as_nanos(), self.id, token));
+            if hops(token) > 0 {
+                out.send(1 - self.id, now + forward_delay(token), token - 1);
+            }
+        }
+    }
+}
+
+/// The same token system on one scheduler, no windows: the payload carries
+/// the domain alongside the token.
+fn oracle(initial: &[(u64, usize, u64)]) -> Vec<(u64, usize, u64)> {
+    let mut sched: Scheduler<(usize, u64)> = Scheduler::new();
+    for &(at, domain, token) in initial {
+        sched.schedule_at(SimTime::from_nanos(at), (domain, token));
+    }
+    let mut log = Vec::new();
+    while let Some((now, (domain, token))) = sched.pop() {
+        log.push((now.as_nanos(), domain, token));
+        if hops(token) > 0 {
+            sched.schedule_at(now + forward_delay(token), (1 - domain, token - 1));
+        }
+    }
+    log.sort_unstable();
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn windowed_runtime_matches_single_scheduler_oracle(
+        seeds in prop::collection::vec((0u64..50_000, 0usize..2, 0u64..200, 0u64..6), 1..24),
+        threads in 1usize..5,
+    ) {
+        let initial: Vec<(u64, usize, u64)> = seeds
+            .iter()
+            .map(|&(at, domain, value, hops)| (at, domain, value * 8 + hops))
+            .collect();
+
+        let mut domains = [
+            TokenDomain { id: 0, sched: Scheduler::new(), log: Vec::new() },
+            TokenDomain { id: 1, sched: Scheduler::new(), log: Vec::new() },
+        ];
+        for &(at, domain, token) in &initial {
+            domains[domain].sched.schedule_at(SimTime::from_nanos(at), token);
+        }
+        run_conservative(&mut domains, LOOKAHEAD, threads);
+
+        let mut windowed: Vec<(u64, usize, u64)> = domains
+            .iter()
+            .flat_map(|d| d.log.iter().copied())
+            .collect();
+        windowed.sort_unstable();
+
+        prop_assert_eq!(windowed, oracle(&initial), "threads {}", threads);
+    }
+}

@@ -1,0 +1,183 @@
+//! The conservative parallel engine's headline invariant: a partitioned
+//! run's **results and telemetry are byte-identical at every
+//! `--sim-threads` value**. The domain decomposition, per-domain RNGs and
+//! per-domain telemetry captures are properties of the model, not of the
+//! host, so `--sim-threads 1` (the windowed algorithm on one thread) and
+//! `--sim-threads {2,4,8}` must agree bit for bit.
+//!
+//! Uses a self-contained partitionable model (four servers, round-robin
+//! per-client targeting) so most RPCs cross domains and exercise the
+//! request/reply mailbox protocol, not just the local fast path.
+
+use cluster::{run_sim, set_sim_threads, SimConfig, WorkerSpec};
+use dfs::{
+    ClientCtx, DistFs, FsResources, MetaOp, OpPlan, PartitionPlan, ServerId, ServerSpec, Stage,
+};
+use memfs::FsResult;
+use simcore::{telemetry, DetRng, SimDuration, SimTime};
+
+const SERVERS: usize = 4;
+const NODES: usize = 4;
+const PROCS_PER_NODE: usize = 2;
+const OPS_PER_WORKER: u64 = 60;
+
+/// A partitionable toy model: every op is `ClientCpu → NetDelay → Server →
+/// NetDelay`, with the server a pure function of `(node, proc, op index)` —
+/// so a domain replica plans identically to the unsplit model for its own
+/// clients, and three quarters of all RPCs target a remote domain.
+struct RoundRobinFs {
+    calls: std::collections::HashMap<(usize, usize), u64>,
+}
+
+impl RoundRobinFs {
+    fn new() -> Self {
+        RoundRobinFs {
+            calls: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl DistFs for RoundRobinFs {
+    fn resources(&self) -> FsResources {
+        FsResources {
+            servers: (0..SERVERS)
+                .map(|i| ServerSpec {
+                    name: format!("srv{i}"),
+                    parallelism: 2,
+                })
+                .collect(),
+            semaphores: Vec::new(),
+        }
+    }
+
+    fn register_clients(&mut self, _nodes: usize) {}
+
+    fn partition(&self, nodes: usize) -> Option<PartitionPlan> {
+        let domains = SERVERS.min(nodes);
+        if domains < 2 {
+            return None;
+        }
+        Some(PartitionPlan {
+            server_domain: (0..SERVERS).map(|s| s % domains).collect(),
+            node_domain: (0..nodes).map(|n| n % domains).collect(),
+            models: (0..domains)
+                .map(|_| Box::new(RoundRobinFs::new()) as Box<dyn DistFs>)
+                .collect(),
+            lookahead: SimDuration::from_micros(40),
+        })
+    }
+
+    fn plan(
+        &mut self,
+        client: ClientCtx,
+        op: &MetaOp,
+        _now: SimTime,
+        _rng: &mut DetRng,
+    ) -> FsResult<OpPlan> {
+        let calls = self.calls.entry((client.node, client.proc)).or_insert(0);
+        let server = ServerId((client.node + client.proc + *calls as usize) % SERVERS);
+        *calls += 1;
+        let demand = match op {
+            MetaOp::Create { .. } => SimDuration::from_micros(25),
+            _ => SimDuration::from_micros(8),
+        };
+        Ok(OpPlan {
+            stages: vec![
+                Stage::ClientCpu {
+                    demand: SimDuration::from_micros(3),
+                },
+                Stage::NetDelay {
+                    delay: SimDuration::from_micros(40),
+                },
+                Stage::Server { server, demand },
+                Stage::NetDelay {
+                    delay: SimDuration::from_micros(40),
+                },
+            ],
+            ..Default::default()
+        })
+    }
+
+    fn drop_caches(&mut self, _node: usize) {}
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+fn run_traced(threads: usize) -> (String, String, String) {
+    set_sim_threads(Some(threads));
+    let (result, report) = telemetry::capture(|| {
+        let mut model = RoundRobinFs::new();
+        let node_names: Vec<String> = (0..NODES).map(|i| format!("pn{i}")).collect();
+        let specs: Vec<WorkerSpec> = (0..NODES * PROCS_PER_NODE)
+            .map(|w| WorkerSpec::new(w / PROCS_PER_NODE, w % PROCS_PER_NODE))
+            .collect();
+        let streams: Vec<Box<dyn cluster::OpStream>> = (0..specs.len())
+            .map(|w| {
+                Box::new(move |i: u64| {
+                    if i >= OPS_PER_WORKER {
+                        return None;
+                    }
+                    Some(match i % 3 {
+                        0 => MetaOp::Create {
+                            path: format!("/p/w{w}/f{i}"),
+                            data_bytes: 0,
+                        },
+                        _ => MetaOp::Stat {
+                            path: format!("/p/w{w}/f{i}"),
+                        },
+                    })
+                }) as Box<dyn cluster::OpStream>
+            })
+            .collect();
+        run_sim(
+            &mut model,
+            &node_names,
+            specs,
+            streams,
+            &SimConfig::default(),
+        )
+    });
+    set_sim_threads(None);
+    (
+        format!("{result:?}"),
+        report.to_chrome_trace_json(),
+        report.to_timeseries_json(),
+    )
+}
+
+/// The whole matrix in one test body: the global `--sim-threads` knob is
+/// process-wide, so the runs are sequenced explicitly rather than spread
+/// over tests that could race on it.
+#[test]
+fn partitioned_runs_bit_identical_across_thread_counts() {
+    let baseline = run_traced(1);
+
+    // evidence the windowed engine actually ran: one trace process per
+    // domain (the classic engine would emit exactly one)
+    assert_eq!(
+        baseline.1.matches("process_name").count(),
+        SERVERS,
+        "expected one telemetry process per domain"
+    );
+
+    for threads in [2, 4, 8] {
+        let run = run_traced(threads);
+        assert_eq!(
+            baseline.0, run.0,
+            "SimRunResult differs between --sim-threads 1 and {threads}"
+        );
+        assert_eq!(
+            baseline.1, run.1,
+            "Chrome trace differs between --sim-threads 1 and {threads}"
+        );
+        assert_eq!(
+            baseline.2, run.2,
+            "timeseries differs between --sim-threads 1 and {threads}"
+        );
+    }
+
+    // sanity on the workload itself: every op completed
+    assert!(baseline.0.contains(&format!("ops_done: {OPS_PER_WORKER}")));
+}
