@@ -1,0 +1,7 @@
+//! SHARD — thin wrapper over the registered scenario `mds_shard_skew`; the
+//! experiment logic lives in `dmetabench::scenarios`. Run every scenario
+//! at once (and compare against baselines) with `dmetabench suite`.
+
+fn main() {
+    dmetabench::suite::run_scenario_main("mds_shard_skew");
+}

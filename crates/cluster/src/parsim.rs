@@ -33,9 +33,13 @@
 //! express: `ClientCpu`, `NetDelay`, and `Server` (local or remote).
 //! Semaphores, background jobs, server pauses, model timers and
 //! disturbances all couple domains through non-network state; models using
-//! them must not offer a partition (the dispatcher in `run_sim` also
-//! refuses on their behalf), and this engine panics if one sneaks through.
+//! them must not offer a partition. When one sneaks through anyway the
+//! engine aborts the run with a structured [`PartitionUnsupported`] error
+//! naming the model, the offending feature, and the `--sim-threads 1`
+//! escape hatch — surfaced as a `Result` through
+//! [`run_sim_checked`](crate::run_sim_checked).
 
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dfs::{ClientCtx, DistFs, OpPlan, PartitionPlan, Stage};
@@ -68,6 +72,66 @@ pub fn sim_threads() -> Option<usize> {
         n => Some(n),
     }
 }
+
+/// A feature the conservative windowed engine cannot execute: these all
+/// couple domains through non-network state, which would break the
+/// lookahead contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionedFeature {
+    /// The model declares semaphore resources in [`dfs::FsResources`].
+    Semaphores,
+    /// A plan carried `AcquireSem`/`ReleaseSem` stages.
+    SemaphoreStages,
+    /// A plan carried server pauses or background jobs.
+    PausesOrBackground,
+    /// The run configuration injects disturbances.
+    Disturbances,
+    /// The model drives itself with timers (`first_timer()`).
+    ModelTimers,
+}
+
+impl PartitionedFeature {
+    fn describe(self) -> &'static str {
+        match self {
+            PartitionedFeature::Semaphores => "declares semaphore resources",
+            PartitionedFeature::SemaphoreStages => {
+                "planned AcquireSem/ReleaseSem stages (semaphores couple domains)"
+            }
+            PartitionedFeature::PausesOrBackground => "planned server pauses or background jobs",
+            PartitionedFeature::Disturbances => "the run configuration injects disturbances",
+            PartitionedFeature::ModelTimers => "drives itself with model timers",
+        }
+    }
+}
+
+/// Structured "this run cannot go parallel" error: the partitioned engine
+/// was selected (`--sim-threads`) and the model offered a partition, but
+/// the run uses a feature the windowed engine does not support.
+///
+/// The display form names the model and the feature and ends with the
+/// remedy, so a scenario failure or CLI error is self-explanatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionUnsupported {
+    /// `DistFs::name()` of the offending model.
+    pub model: String,
+    /// Which restriction fired.
+    pub feature: PartitionedFeature,
+}
+
+impl std::fmt::Display for PartitionUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partitioned run of model '{}' is unsupported: {}; \
+             rerun without --sim-threads to use the classic sequential engine \
+             (which supports every feature)",
+            self.model,
+            self.feature.describe()
+        )
+    }
+}
+
+impl std::error::Error for PartitionUnsupported {}
 
 /// Derive domain `d`'s RNG purely from the run seed — no draws from a
 /// parent stream, so the derivation is identical at every thread count.
@@ -275,11 +339,16 @@ impl Domain<'_> {
                         st.retries += u64::from(f.retries);
                         st.failovers += u64::from(f.failovers);
                     }
-                    assert!(
-                        st.plan.pauses.is_empty() && st.plan.background.is_empty(),
-                        "partitioned run: plans with pauses or background jobs are not \
-                         supported — the model must not offer a partition"
-                    );
+                    if !(st.plan.pauses.is_empty() && st.plan.background.is_empty()) {
+                        // typed panic: unwinds through the window runtime
+                        // (which rethrows the original payload) and is
+                        // downcast back to a structured error at the
+                        // run_partitioned boundary
+                        panic_any(PartitionUnsupported {
+                            model: self.model.name().to_owned(),
+                            feature: PartitionedFeature::PausesOrBackground,
+                        });
+                    }
                     st.active = true;
                     st.stage = 0;
                     return true;
@@ -452,11 +521,10 @@ impl Domain<'_> {
                     return;
                 }
                 Stage::AcquireSem { .. } | Stage::ReleaseSem { .. } => {
-                    panic!(
-                        "partitioned run: semaphores couple domains and are not \
-                         supported — model {} must not offer a partition",
-                        self.model.name()
-                    );
+                    panic_any(PartitionUnsupported {
+                        model: self.model.name().to_owned(),
+                        feature: PartitionedFeature::SemaphoreStages,
+                    });
                 }
             }
         }
@@ -602,11 +670,25 @@ impl Domain<'_> {
 
     /// Run `f` with this domain's telemetry capture installed on the
     /// current thread (straight through when the run is untraced).
+    ///
+    /// Restores the caller's capture even if `f` unwinds — a
+    /// [`PartitionUnsupported`] panic travels through here, and leaking the
+    /// domain capture onto the thread would corrupt the caller's telemetry
+    /// on the error path (the domain's partial capture is discarded).
     fn with_capture<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
         match self.cap.take() {
             Some(cap) => {
-                let prev = telemetry::swap_capture(cap);
+                struct Restore(Option<telemetry::ThreadCapture>);
+                impl Drop for Restore {
+                    fn drop(&mut self) {
+                        if let Some(prev) = self.0.take() {
+                            drop(telemetry::swap_capture(prev));
+                        }
+                    }
+                }
+                let mut guard = Restore(Some(telemetry::swap_capture(cap)));
                 let r = f(self);
+                let prev = guard.0.take().expect("guard still armed");
                 self.cap = Some(telemetry::swap_capture(prev));
                 r
             }
@@ -675,12 +757,17 @@ impl WindowDomain for Domain<'_> {
 /// the configuration is partition-safe (no disturbances, no model timers).
 /// Results are bit-identical for every `threads` value.
 ///
+/// # Errors
+///
+/// [`PartitionUnsupported`] when the model declares semaphores or its plans
+/// use a restricted feature at runtime (semaphore stages, pauses,
+/// background jobs).
+///
 /// # Panics
 ///
 /// Panics on malformed plans (domain indices out of range, wrong table
-/// lengths, declared semaphores), on models that violate the partitioned
-/// stage contract at runtime, and on deadlock (a worker that never
-/// finishes).
+/// lengths), on models that violate the lookahead contract, and on deadlock
+/// (a worker that never finishes).
 pub(crate) fn run_partitioned(
     model: &mut dyn DistFs,
     plan: PartitionPlan,
@@ -689,7 +776,7 @@ pub(crate) fn run_partitioned(
     streams: Vec<Box<dyn OpStream>>,
     config: &SimConfig,
     threads: usize,
-) -> SimRunResult {
+) -> Result<SimRunResult, PartitionUnsupported> {
     assert_eq!(workers.len(), streams.len(), "one stream per worker");
     let nodes = node_names.len();
     for w in &workers {
@@ -703,11 +790,12 @@ pub(crate) fn run_partitioned(
     );
     model.register_clients(nodes);
     let resources = model.resources();
-    assert!(
-        resources.semaphores.is_empty(),
-        "partitioned run: model {} declares semaphores",
-        model.name()
-    );
+    if !resources.semaphores.is_empty() {
+        return Err(PartitionUnsupported {
+            model: model.name().to_owned(),
+            feature: PartitionedFeature::Semaphores,
+        });
+    }
     assert_eq!(
         plan.server_domain.len(),
         resources.servers.len(),
@@ -846,7 +934,18 @@ pub(crate) fn run_partitioned(
         doms.push(dom);
     }
 
-    par::run_conservative(&mut doms, plan.lookahead, threads);
+    // A restricted feature discovered mid-run unwinds out of the window
+    // runtime as a typed panic; downcast it back into the structured error
+    // here so callers see a Result, not a panic. Anything else (model bugs,
+    // lookahead violations) keeps unwinding.
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+        par::run_conservative(&mut doms, plan.lookahead, threads);
+    })) {
+        match payload.downcast::<PartitionUnsupported>() {
+            Ok(err) => return Err(*err),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
 
     // fold per-domain telemetry back into the caller's capture, in
     // canonical domain order
@@ -884,7 +983,7 @@ pub(crate) fn run_partitioned(
             });
         }
     }
-    SimRunResult {
+    Ok(SimRunResult {
         fs_name: model.name().to_owned(),
         interval: config.sample_interval,
         workers: traces
@@ -892,5 +991,5 @@ pub(crate) fn run_partitioned(
             .map(|t| t.expect("every worker produced a trace"))
             .collect(),
         wall_time,
-    }
+    })
 }

@@ -111,6 +111,14 @@ pub struct SimConfig {
     pub seed: u64,
     /// Injected disturbances.
     pub disturbances: Vec<Disturbance>,
+    /// Run a partitionable model on the conservative windowed engine even
+    /// when `--sim-threads` is unset (then on one thread). The windowed
+    /// engine is bit-identical at every thread count, but its tie-breaking
+    /// of *same-instant* contention can differ from the classic engine's;
+    /// scenario bodies that measure a partitionable model under contention
+    /// pin the windowed engine so their blessed baselines hold at any
+    /// `--sim-threads` setting. Non-partitionable models are unaffected.
+    pub pin_windowed_engine: bool,
 }
 
 impl Default for SimConfig {
@@ -121,6 +129,7 @@ impl Default for SimConfig {
             node_cores: 8,
             seed: 42,
             disturbances: Vec::new(),
+            pin_windowed_engine: false,
         }
     }
 }
@@ -375,18 +384,69 @@ pub(crate) fn op_label(op: &MetaOp) -> &'static str {
 /// nodes; `workers[i]` uses `streams[i]`.
 ///
 /// When [`crate::set_sim_threads`] has selected the conservative parallel
-/// engine *and* the run is partition-safe (no disturbances, no model
-/// timers) *and* the model offers a [`dfs::PartitionPlan`], the run is
-/// dispatched to the windowed engine in `parsim` — whose results are
-/// bit-identical at every thread count. Every other run (including all
-/// models that keep the default `partition() == None`) takes the classic
-/// sequential engine below, byte-for-byte unchanged.
+/// engine (or the config sets
+/// [`pin_windowed_engine`](SimConfig::pin_windowed_engine)) *and* the
+/// model offers a [`dfs::PartitionPlan`], the run is dispatched to the
+/// windowed engine in `parsim` — whose results are bit-identical at every
+/// thread count. Every other run (including all models that keep the
+/// default `partition() == None`) takes the classic sequential engine
+/// below, byte-for-byte unchanged.
+///
+/// This is the fallible form: a partitionable model combined with a
+/// feature the windowed engine cannot execute (semaphores, pauses,
+/// background jobs, disturbances, model timers) returns a structured
+/// [`PartitionUnsupported`](crate::PartitionUnsupported) instead of
+/// asserting deep inside the engine. [`run_sim`] panics with the same
+/// message for callers that cannot recover.
+///
+/// # Errors
+///
+/// [`PartitionUnsupported`](crate::PartitionUnsupported) as above — only
+/// possible when `--sim-threads` is set *and* the model partitions.
 ///
 /// # Panics
 ///
 /// Panics if `workers` and `streams` lengths differ, if a worker references
 /// a node outside `node_names`, or if the model's plans reference undeclared
 /// resources.
+pub fn run_sim_checked(
+    model: &mut dyn DistFs,
+    node_names: &[String],
+    workers: Vec<WorkerSpec>,
+    streams: Vec<Box<dyn OpStream>>,
+    config: &SimConfig,
+) -> Result<SimRunResult, crate::parsim::PartitionUnsupported> {
+    use crate::parsim::{PartitionUnsupported, PartitionedFeature};
+    let threads = crate::sim_threads().or_else(|| config.pin_windowed_engine.then_some(1));
+    if let Some(threads) = threads {
+        if let Some(plan) = model.partition(node_names.len()) {
+            // The model wants partitioned execution: config-level
+            // restrictions are now hard errors rather than a silent
+            // fallback, so a `--sim-threads` run never quietly loses its
+            // parallelism.
+            if !config.disturbances.is_empty() {
+                return Err(PartitionUnsupported {
+                    model: model.name().to_owned(),
+                    feature: PartitionedFeature::Disturbances,
+                });
+            }
+            if model.first_timer().is_some() {
+                return Err(PartitionUnsupported {
+                    model: model.name().to_owned(),
+                    feature: PartitionedFeature::ModelTimers,
+                });
+            }
+            return crate::parsim::run_partitioned(
+                model, plan, node_names, workers, streams, config, threads,
+            );
+        }
+    }
+    Ok(run_sim_classic(model, node_names, workers, streams, config))
+}
+
+/// Infallible [`run_sim_checked`]: unsupported-feature errors become a
+/// panic carrying the structured error (the suite runner downcasts it back
+/// to show the scenario name plus the full message).
 pub fn run_sim(
     model: &mut dyn DistFs,
     node_names: &[String],
@@ -394,16 +454,8 @@ pub fn run_sim(
     streams: Vec<Box<dyn OpStream>>,
     config: &SimConfig,
 ) -> SimRunResult {
-    if let Some(threads) = crate::sim_threads() {
-        if config.disturbances.is_empty() && model.first_timer().is_none() {
-            if let Some(plan) = model.partition(node_names.len()) {
-                return crate::parsim::run_partitioned(
-                    model, plan, node_names, workers, streams, config, threads,
-                );
-            }
-        }
-    }
-    run_sim_classic(model, node_names, workers, streams, config)
+    run_sim_checked(model, node_names, workers, streams, config)
+        .unwrap_or_else(|e| std::panic::panic_any(e))
 }
 
 /// The classic single-scheduler engine (every stage kind, disturbances,

@@ -9,7 +9,7 @@
 //! `--workdir` with worker threads.
 
 use cluster::{MpiWorld, Placement, SimConfig, ThreadRunConfig};
-use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs};
+use dfs::{AfsFs, CxfsFs, DistFs, LocalFs, LustreFs, NfsFs, OntapGxFs, ShardMds, ShardMdsConfig};
 use dmetabench::{
     all_plugin_names, analyze, baseline, bench, crashdrill, suite, BenchParams, Runner,
 };
@@ -81,8 +81,10 @@ SUITE OPTIONS:
 OPTIONS:
   --mode <sim|real>          execution mode               [default: sim]
   --fs <MODEL>               sim model: nfs, lustre, cxfs, ontapgx, afs,
-                             local                        [default: nfs]
-  --faults <SPEC>            sim mode fault schedule (nfs/lustre/afs only):
+                             shardmds, local              [default: nfs]
+  --mds-shards <N>           shardmds only: metadata-server shard count
+                             (hash placement)             [default: 4]
+  --faults <SPEC>            sim fault schedule (nfs/lustre/afs/shardmds):
                              comma-separated down@A..B, degrade@A..B:Fx,
                              loss@A..B:P, crash:S@T+D, seed=N; times accept
                              s/ms/us/ns suffixes (bare numbers = seconds)
@@ -124,6 +126,7 @@ EXAMPLES:
 struct Cli {
     mode: String,
     fs: String,
+    mds_shards: Option<usize>,
     faults: Option<FaultSpec>,
     crash: Option<CrashSpec>,
     nodes: usize,
@@ -149,6 +152,7 @@ fn parse_args() -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         mode: "sim".into(),
         fs: "nfs".into(),
+        mds_shards: None,
         faults: None,
         crash: None,
         nodes: 4,
@@ -180,6 +184,15 @@ fn parse_args() -> Result<Option<Cli>, String> {
             }
             "--mode" => cli.mode = value("--mode")?,
             "--fs" => cli.fs = value("--fs")?,
+            "--mds-shards" => {
+                let n: usize = value("--mds-shards")?
+                    .parse()
+                    .map_err(|e| format!("--mds-shards: {e}"))?;
+                if n == 0 {
+                    return Err("--mds-shards must be at least 1".into());
+                }
+                cli.mds_shards = Some(n);
+            }
             "--faults" => {
                 cli.faults = Some(
                     FaultSpec::parse(&value("--faults")?).map_err(|e| format!("--faults: {e}"))?,
@@ -255,12 +268,16 @@ fn parse_args() -> Result<Option<Cli>, String> {
             return Err(format!("unknown operation '{op}' (try --list-operations)"));
         }
     }
+    if cli.mds_shards.is_some() && cli.fs != "shardmds" {
+        return Err("--mds-shards only applies to --fs shardmds".into());
+    }
     Ok(Some(cli))
 }
 
 fn model_factory(
     fs: &str,
     faults: Option<&FaultSpec>,
+    mds_shards: Option<usize>,
 ) -> Result<Box<dyn Fn() -> Box<dyn DistFs>>, String> {
     // Each model instance compiles its own plan from the shared spec so
     // every run gets an identical, independently-seeded loss stream.
@@ -287,6 +304,19 @@ fn model_factory(
             }
             Box::new(m)
         }),
+        "shardmds" => {
+            let shards = mds_shards.unwrap_or(4);
+            Box::new(move || {
+                let mut m = ShardMds::new(ShardMdsConfig {
+                    shards,
+                    ..ShardMdsConfig::default()
+                });
+                if let Some(spec) = &spec {
+                    m.set_faults(spec.build());
+                }
+                Box::new(m)
+            })
+        }
         "cxfs" | "ontapgx" | "local" if faults.is_some() => {
             return Err(format!("--faults is not supported for --fs '{fs}'"))
         }
@@ -891,6 +921,20 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("bench") {
         return bench_main(&argv[1..]);
     }
+    /// Convert the engine's structured [`cluster::PartitionUnsupported`]
+    /// error (thrown as a typed panic by `run_sim`) into the CLI's normal
+    /// `error: ...` channel, so a `--sim-threads` run that hits an
+    /// unsupported feature exits cleanly with the model name and the
+    /// rerun hint instead of dumping a panic backtrace. Any other panic
+    /// keeps unwinding.
+    fn surface_partition_errors<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|e| {
+            match e.downcast::<cluster::PartitionUnsupported>() {
+                Ok(p) => p.to_string(),
+                Err(other) => std::panic::resume_unwind(other),
+            }
+        })
+    }
     if argv.first().map(String::as_str) == Some("analyze") {
         return analyze_main(&argv[1..]);
     }
@@ -910,7 +954,7 @@ fn main() -> ExitCode {
     let run_campaign = || -> Result<dmetabench::Campaign, String> {
         match cli.mode.as_str() {
             "sim" => {
-                let factory = model_factory(&cli.fs, cli.faults.as_ref())?;
+                let factory = model_factory(&cli.fs, cli.faults.as_ref(), cli.mds_shards)?;
                 // volume-addressed models need volume-prefixed directories
                 let mut params = cli.params.clone();
                 if matches!(cli.fs.as_str(), "ontapgx" | "afs") && params.path_list.is_none() {
@@ -922,7 +966,9 @@ fn main() -> ExitCode {
                     "simulated world: {} nodes x {} slots, model '{}', master rank {}",
                     cli.nodes, cli.slots_per_node, cli.fs, placement.master_rank
                 );
-                Ok(Runner::new(params).run_simulated(&placement, factory, &SimConfig::default()))
+                surface_partition_errors(|| {
+                    Runner::new(params).run_simulated(&placement, factory, &SimConfig::default())
+                })
             }
             "real" => {
                 if cli.faults.is_some() {

@@ -347,6 +347,10 @@ fn run_scenario_inner(scenario: &'static Scenario, traced: bool) -> ScenarioRunR
                 s.clone()
             } else if let Some(s) = e.downcast_ref::<&str>() {
                 (*s).to_owned()
+            } else if let Some(p) = e.downcast_ref::<cluster::PartitionUnsupported>() {
+                // structured engine error: the failure line already names
+                // the scenario; the message adds model, feature and remedy
+                format!("scenario '{}': {p}", scenario.id)
             } else {
                 "scenario panicked".to_owned()
             }
@@ -726,7 +730,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 25, "all 25 experiments are registered");
+        assert_eq!(reg.len(), 29, "all 29 experiments are registered");
         for (i, a) in reg.iter().enumerate() {
             for b in &reg[i + 1..] {
                 assert_ne!(a.id, b.id, "duplicate scenario id");

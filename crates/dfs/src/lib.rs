@@ -53,6 +53,7 @@ mod op;
 mod plan;
 mod pvfs;
 mod recovery;
+mod shardmds;
 
 pub use afs::{AfsConfig, AfsFs, AfsVolume, AFS_VLDB};
 pub use cache::{AttrCache, CacheStats, CallbackCache};
@@ -69,3 +70,6 @@ pub use plan::{
 };
 pub use pvfs::{PvfsConfig, PvfsFs, PVFS_MDS};
 pub use recovery::RetryPolicy;
+pub use shardmds::{
+    ReshardAction, ReshardEvent, ShardMds, ShardMdsConfig, ShardPlacement, SHARD_LOCSVC,
+};

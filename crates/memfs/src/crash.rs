@@ -530,6 +530,23 @@ mod tests {
         assert!(CrashSpec::parse("seed=x").is_err());
     }
 
+    /// Out-of-range counts must error rather than saturate (the companion
+    /// of the `netsim::fault` time-overflow fix: both spec grammars share
+    /// the reject-don't-clamp contract).
+    #[test]
+    fn parse_rejects_out_of_range_counts() {
+        for bad in [
+            "crash-after:99999999999999999999999-records",
+            "crash-after:18446744073709551616-records", // u64::MAX + 1
+            "reorder:99999999999999999999999",
+            "seed=99999999999999999999999",
+        ] {
+            assert!(CrashSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        // the numeric ceiling itself is still representable
+        assert!(CrashSpec::parse("crash-after:18446744073709551615-records").is_ok());
+    }
+
     #[test]
     fn earliest_crash_point_wins() {
         let plan = CrashSpec::parse("crash-after:90,crash-after:40-records")

@@ -280,7 +280,17 @@ fn parse_time(text: &str, clause: &str) -> Result<SimTime, String> {
     if !(value.is_finite() && value >= 0.0) {
         return Err(format!("bad time {text:?} in {clause:?}: must be ≥ 0"));
     }
-    Ok(SimTime::from_nanos((value * scale_ns).round() as u64))
+    // Checked conversion: `as u64` silently saturates, so `0..1e30s` would
+    // quietly become a window ending at u64::MAX nanoseconds (~584 years)
+    // instead of an error. Reject anything past what SimTime can hold.
+    let ns = (value * scale_ns).round();
+    if ns >= u64::MAX as f64 {
+        return Err(format!(
+            "time out of range: {text:?} in {clause:?} exceeds {} seconds",
+            u64::MAX / 1_000_000_000
+        ));
+    }
+    Ok(SimTime::from_nanos(ns as u64))
 }
 
 /// Aggregate link degradation at one instant.
@@ -460,6 +470,29 @@ mod tests {
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    /// Absurd times must be *errors*, not silently saturated schedules: the
+    /// old `as u64` conversion turned `down@0..1e30s` into an outage ending
+    /// at `u64::MAX` nanoseconds.
+    #[test]
+    fn parse_rejects_out_of_range_times() {
+        for bad in [
+            "down@0..1e30s",
+            "down@1e25s..1e30s",
+            "degrade@0..99999999999999999999s:2x",
+            "loss@0..1e30ns:0.5",
+            "crash:0@1e30s+5s",
+            "crash:0@5s+1e30s",
+        ] {
+            let err = FaultSpec::parse(bad).expect_err(bad);
+            assert!(
+                err.contains("time out of range"),
+                "{bad:?}: expected a range error, got {err:?}"
+            );
+        }
+        // the largest representable whole-second time still parses
+        assert!(FaultSpec::parse("down@0..18446744073s").is_ok());
     }
 
     #[test]

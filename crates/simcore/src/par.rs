@@ -41,7 +41,8 @@
 //! (lookahead = ∞, no cross traffic) dispatched over a thread pool, used by
 //! benches whose cells share no state (`stress_grid_mt`).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use crate::time::{SimDuration, SimTime};
@@ -219,6 +220,25 @@ fn run_windows_par<D: WindowDomain>(domains: &mut [D], lookahead: SimDuration, t
     let n = domains.len();
     let mailboxes: Vec<Mutex<Vec<Envelope<D::Msg>>>> =
         (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    // Panic poison: a domain panic must not strand sibling threads at the
+    // window barrier. The panicking thread records the payload, raises a
+    // flag, and *keeps meeting barriers* for the rest of its round; every
+    // thread checks right after the barrier and exits. The original payload
+    // is rethrown after all threads have left the scope, so callers see the
+    // domain's own panic message.
+    //
+    // Two flags, one per phase, and each is checked only at the barrier
+    // that closes its phase. This is load-bearing: a single flag checked at
+    // both barriers races — a fast sibling can pass the propose barrier, run
+    // its whole window, panic, and set the flag while a slow thread is still
+    // between the propose barrier and its check. The slow thread would then
+    // exit one barrier early and strand the sibling at the window barrier.
+    // With per-phase flags, every write to a flag happens before some
+    // thread's wait on the barrier that guards its check, so after that
+    // barrier the value is frozen and all threads decide identically.
+    let propose_poisoned = AtomicBool::new(false);
+    let window_poisoned = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     // Double-buffered window-minimum slots, indexed by window parity: each
     // round the threads `fetch_min` into the current slot, meet at the
     // barrier, read the agreed minimum, and reset the *other* slot for the
@@ -247,53 +267,93 @@ fn run_windows_par<D: WindowDomain>(domains: &mut [D], lookahead: SimDuration, t
             let mailboxes = &mailboxes;
             let barrier = &barrier;
             let min_slot = &min_slot;
+            let propose_poisoned = &propose_poisoned;
+            let window_poisoned = &window_poisoned;
+            let payload = &payload;
             handles.push(s.spawn(move || {
+                let poison = |p: Box<dyn std::any::Any + Send>, flag: &AtomicBool| {
+                    let mut slot = match payload.lock() {
+                        Ok(slot) => slot,
+                        Err(e) => e.into_inner(),
+                    };
+                    slot.get_or_insert(p);
+                    flag.store(true, Ordering::SeqCst);
+                };
                 let mut outboxes: Vec<Outbox<D::Msg>> = (0..chunk.len())
                     .map(|i| Outbox::new(u32::try_from(base + i).expect("domain index overflow")))
                     .collect();
                 let mut inbox = Vec::new();
                 let mut parity = 0;
                 loop {
-                    // 1. drain mailboxes of the domains this thread owns
-                    for (i, domain) in chunk.iter_mut().enumerate() {
-                        {
-                            let mut mb = mailboxes[base + i].lock().expect("mailbox poisoned");
-                            std::mem::swap(&mut inbox, &mut *mb);
+                    // 1+2. drain mailboxes of the domains this thread owns,
+                    // then propose the window via fetch_min + barrier. A
+                    // panic here poisons the run and votes "idle".
+                    let local_min = match catch_unwind(AssertUnwindSafe(|| {
+                        for (i, domain) in chunk.iter_mut().enumerate() {
+                            {
+                                let mut mb = mailboxes[base + i].lock().expect("mailbox poisoned");
+                                std::mem::swap(&mut inbox, &mut *mb);
+                            }
+                            drain_into(domain, &mut inbox);
                         }
-                        drain_into(domain, &mut inbox);
-                    }
-                    // 2. agree on the window via fetch_min + barrier
-                    let local_min = chunk
-                        .iter_mut()
-                        .filter_map(WindowDomain::next_time)
-                        .min()
-                        .map_or(u64::MAX, SimTime::as_nanos);
+                        chunk
+                            .iter_mut()
+                            .filter_map(WindowDomain::next_time)
+                            .min()
+                            .map_or(u64::MAX, SimTime::as_nanos)
+                    })) {
+                        Ok(m) => m,
+                        Err(p) => {
+                            poison(p, propose_poisoned);
+                            u64::MAX
+                        }
+                    };
                     min_slot[parity].fetch_min(local_min, Ordering::SeqCst);
                     barrier.wait();
+                    if propose_poisoned.load(Ordering::SeqCst) {
+                        break; // some domain panicked while proposing
+                    }
                     let agreed = min_slot[parity].load(Ordering::SeqCst);
                     if agreed == u64::MAX {
                         break; // unanimous: nothing pending anywhere
                     }
                     let end = window_end(SimTime::from_nanos(agreed), lookahead);
                     // 3. execute the window; publish sends at the end
-                    for (i, domain) in chunk.iter_mut().enumerate() {
-                        let out = &mut outboxes[i];
-                        out.window_end = end;
-                        domain.run_window(end, out);
-                        for (dest, env) in out.buf.drain(..) {
-                            mailboxes[dest].lock().expect("mailbox poisoned").push(env);
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                        for (i, domain) in chunk.iter_mut().enumerate() {
+                            let out = &mut outboxes[i];
+                            out.window_end = end;
+                            domain.run_window(end, out);
+                            for (dest, env) in out.buf.drain(..) {
+                                mailboxes[dest].lock().expect("mailbox poisoned").push(env);
+                            }
                         }
+                    })) {
+                        poison(p, window_poisoned);
                     }
                     min_slot[1 - parity].store(u64::MAX, Ordering::SeqCst);
                     barrier.wait();
+                    if window_poisoned.load(Ordering::SeqCst) {
+                        break; // some domain panicked inside its window
+                    }
                     parity = 1 - parity;
                 }
             }));
         }
         for h in handles {
-            h.join().expect("window domain thread panicked");
+            h.join()
+                .expect("window thread exits cleanly; panics travel via the poison slot");
         }
     });
+    // Rethrow the first domain panic with its original payload, as if the
+    // caller had run that domain inline.
+    let first = match payload.into_inner() {
+        Ok(p) => p,
+        Err(e) => e.into_inner(),
+    };
+    if let Some(p) = first {
+        resume_unwind(p);
+    }
 }
 
 /// Run `tasks` fully independent jobs on up to `threads` OS threads and
@@ -436,6 +496,80 @@ mod tests {
         let mut a = Scheduler::new();
         a.schedule_at(SimTime::from_micros(1), 7);
         let mut domains = vec![Bad(a), Bad(Scheduler::new())];
+        run_conservative(&mut domains, LOOKAHEAD, 1);
+    }
+
+    /// A domain that panics while executing its third event. Pre-fix, the
+    /// panicking thread never reached the window barrier again and every
+    /// sibling thread blocked forever; this test then hung instead of
+    /// failing. Post-fix the panic is rethrown to the caller with its
+    /// original message at every thread count.
+    struct Boom {
+        sched: Scheduler<u64>,
+        popped: u64,
+        detonate: bool,
+    }
+
+    impl WindowDomain for Boom {
+        type Msg = u64;
+        fn next_time(&mut self) -> Option<SimTime> {
+            self.sched.peek_time()
+        }
+        fn deliver(&mut self, env: Envelope<u64>) {
+            self.sched.schedule_at(env.deliver_at, env.msg);
+        }
+        fn run_window(&mut self, end: SimTime, out: &mut Outbox<u64>) {
+            while self.sched.peek_time().is_some_and(|t| t < end) {
+                let (at, token) = self.sched.pop().expect("peeked event");
+                self.popped += 1;
+                if self.detonate && self.popped == 3 {
+                    panic!("deliberate domain panic at {at}");
+                }
+                out.send((token as usize + 1) % 4, at + LOOKAHEAD, token);
+            }
+        }
+    }
+
+    fn booming_domains() -> Vec<Boom> {
+        (0..4usize)
+            .map(|id| {
+                let mut sched = Scheduler::new();
+                for k in 0..16u64 {
+                    sched.schedule_at(SimTime::from_micros(10 * (k + 1)), id as u64);
+                }
+                Boom {
+                    sched,
+                    popped: 0,
+                    detonate: id == 2,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn domain_panic_propagates_across_the_barrier() {
+        for threads in [2, 4] {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut domains = booming_domains();
+                run_conservative(&mut domains, LOOKAHEAD, threads);
+            }))
+            .expect_err("the Boom domain must abort the run");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("deliberate domain panic"),
+                "original panic message lost at {threads} threads: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate domain panic")]
+    fn domain_panic_propagates_sequentially_too() {
+        let mut domains = booming_domains();
         run_conservative(&mut domains, LOOKAHEAD, 1);
     }
 

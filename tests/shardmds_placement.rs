@@ -1,0 +1,173 @@
+//! Property-based tests over the sharded-MDS placement layer: for *any*
+//! random namespace, subtree table, and split/merge/migration schedule,
+//!
+//! * authority is a **total function with exactly one winner** at every
+//!   instant (including event boundaries),
+//! * every planned operation is **served by exactly that authority**, with
+//!   at most one extra hop (a cold placement lookup *or* a stale-location
+//!   forward, never both),
+//! * the forwarding / placement cost is paid **at most once** per node per
+//!   location change: an immediate replan goes straight to the authority,
+//! * no op is lost or double-counted across a migration
+//!   (`lookups() == ops planned`).
+
+use proptest::prelude::*;
+
+use dfs::{
+    ClientCtx, DistFs, MetaOp, ReshardAction, ReshardEvent, ServerId, ShardMds, ShardMdsConfig,
+    ShardPlacement, Stage, SHARD_LOCSVC,
+};
+use simcore::{DetRng, SimTime};
+
+const NODES: usize = 3;
+
+/// Directory-name pool kept tiny on purpose: collisions between table
+/// prefixes, reshard prefixes and op paths are the interesting cases.
+const POOL: [&str; 5] = ["a", "b", "hot", "proj", "u0"];
+
+fn prefix() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..POOL.len(), 1..4).prop_map(|ix| {
+        let cs: Vec<&str> = ix.into_iter().map(|i| POOL[i]).collect();
+        format!("/{}", cs.join("/"))
+    })
+}
+
+/// A valid config: deduplicated table anchored at `"/"`, reshard targets in
+/// range, and (per the constructor contract) no scheduled `Remove` of `"/"`.
+fn config(placement: ShardPlacement) -> impl Strategy<Value = ShardMdsConfig> {
+    (2usize..7).prop_flat_map(move |shards| {
+        let entry = (prefix(), 0..shards);
+        let action = prop_oneof![
+            (prefix(), 0..shards).prop_map(|(p, to)| ReshardAction::Assign { prefix: p, to }),
+            prefix().prop_map(|p| ReshardAction::Remove { prefix: p }),
+        ];
+        let event = (1u64..500, action).prop_map(|(ms, action)| ReshardEvent {
+            at: SimTime::from_millis(ms),
+            action,
+        });
+        (
+            prop::collection::vec(entry, 0..4),
+            prop::collection::vec(event, 0..6),
+            0..shards,
+        )
+            .prop_map(move |(extra, reshard, root)| {
+                let mut map = std::collections::BTreeMap::new();
+                map.insert("/".to_owned(), root);
+                for (p, s) in extra {
+                    map.entry(p).or_insert(s);
+                }
+                ShardMdsConfig {
+                    shards,
+                    placement,
+                    table: map.into_iter().collect(),
+                    reshard,
+                    ..ShardMdsConfig::default()
+                }
+            })
+    })
+}
+
+fn servers_of(plan: &dfs::OpPlan) -> Vec<ServerId> {
+    plan.stages
+        .iter()
+        .filter_map(|s| match s {
+            Stage::Server { server, .. } => Some(*server),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Subtree authority is total, in range, deterministic, and well defined
+    /// exactly *at* every reshard instant, for arbitrary schedules.
+    #[test]
+    fn authority_is_total_unique_and_deterministic(
+        cfg in config(ShardPlacement::Subtree),
+        probes in prop::collection::vec((prefix(), 0u64..600), 1..16),
+    ) {
+        let m = ShardMds::new(cfg.clone());
+        for (dir, ms) in &probes {
+            let path = format!("{dir}/f");
+            let now = SimTime::from_millis(*ms);
+            let s = m.authority_of(&path, now);
+            prop_assert!(s < cfg.shards, "authority {s} out of range");
+            prop_assert_eq!(s, m.authority_of(&path, now), "resolution is a function");
+            // boundary instants: the event applies inclusively at its `at`
+            for ev in &cfg.reshard {
+                prop_assert!(m.authority_of(&path, ev.at) < cfg.shards);
+            }
+        }
+    }
+
+    /// Hash placement never moves: time and the reshard schedule are
+    /// ignored, and every file in one directory shares an authority.
+    #[test]
+    fn hash_authority_ignores_time_and_schedule(
+        cfg in config(ShardPlacement::Hash),
+        dir in prefix(),
+        t1 in 0u64..600,
+        t2 in 0u64..600,
+    ) {
+        let m = ShardMds::new(cfg.clone());
+        let path = format!("{dir}/f");
+        let s = m.authority_of(&path, SimTime::from_millis(t1));
+        prop_assert!(s < cfg.shards);
+        prop_assert_eq!(s, m.authority_of(&path, SimTime::from_millis(t2)));
+        prop_assert_eq!(s, m.authority_of(&format!("{dir}/g"), SimTime::from_millis(t1)));
+    }
+
+    /// Drive a random time-ordered op mix through `plan()` mid-schedule:
+    /// the serving MDS is always the pure-function authority, extra hops are
+    /// bounded and typed, an immediate replan is hop-free (the lazy
+    /// migration cost is paid at most once per node per move), and lookups
+    /// conserve the op count — nothing lost or double-applied.
+    #[test]
+    fn plans_are_served_by_exactly_one_authority(
+        cfg in config(ShardPlacement::Subtree),
+        ops in prop::collection::vec(
+            (prefix(), 0u64..600, 0..NODES, any::<bool>()),
+            1..32,
+        ),
+    ) {
+        let mut ops = ops;
+        ops.sort_by_key(|o| o.1);
+        let mut m = ShardMds::new(cfg.clone());
+        m.register_clients(NODES);
+        let mut rng = DetRng::new(42);
+        let mut planned = 0u64;
+        for (i, (dir, ms, node, mutating)) in ops.iter().enumerate() {
+            let path = format!("{dir}/f{i}");
+            let now = SimTime::from_millis(*ms);
+            let op = if *mutating {
+                MetaOp::Create { path: path.clone(), data_bytes: 0 }
+            } else {
+                MetaOp::Stat { path: path.clone() }
+            };
+            let client = ClientCtx { node: *node, proc: 0 };
+            let plan = m.plan(client, &op, now, &mut rng).unwrap();
+            planned += 1;
+            let servers = servers_of(&plan);
+            let authority = ServerId(1 + m.authority_of(&path, now));
+            prop_assert_eq!(
+                servers.last().copied(),
+                Some(authority),
+                "op must be served by its authority"
+            );
+            prop_assert!(servers.len() <= 2, "at most one extra hop: {servers:?}");
+            if let [hop, _] = servers[..] {
+                // the hop is a cold placement lookup or a forward by the
+                // stale (old, different) shard — never the authority twice
+                prop_assert!(
+                    hop == SHARD_LOCSVC || (hop != authority && hop.0 >= 1 && hop.0 <= cfg.shards),
+                    "unexpected hop {hop:?}"
+                );
+            }
+            // replan immediately: the location cache is now warm and
+            // current, so the op goes straight to the authority
+            let again = m.plan(client, &op, now, &mut rng).unwrap();
+            planned += 1;
+            prop_assert_eq!(servers_of(&again), vec![authority]);
+        }
+        prop_assert_eq!(m.lookups(), planned, "every op resolved exactly once");
+    }
+}

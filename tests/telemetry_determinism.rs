@@ -141,6 +141,112 @@ fn writeback_goldens_hold_across_sim_threads() {
     cluster::set_sim_threads(None);
 }
 
+/// The sharded-MDS model's telemetry counters are engine-invariant: the
+/// classic sequential engine and the windowed engine at every thread count
+/// agree on every `shardmds.*` total (the per-domain captures merge by
+/// summation), and the windowed metrics summary is byte-identical across
+/// thread counts.
+#[test]
+fn shardmds_counters_identical_across_engines_and_thread_counts() {
+    use cluster::{run_sim, set_sim_threads, SimConfig, WorkerSpec};
+    use dfs::{MetaOp, ReshardAction, ReshardEvent, ShardMds, ShardMdsConfig, ShardPlacement};
+    use simcore::SimTime;
+
+    const NODES: usize = 4;
+    const PPN: usize = 2;
+    const OPS: u64 = 40;
+    const COUNTERS: [&str; 5] = [
+        "shardmds.lookups",
+        "shardmds.placement_rpcs",
+        "shardmds.migrations",
+        "shardmds.failovers",
+        "shardmds.reshard_events",
+    ];
+
+    let run = |threads: Option<usize>| {
+        set_sim_threads(threads);
+        let (_, report) = simcore::telemetry::capture(|| {
+            let mut model = ShardMds::new(ShardMdsConfig {
+                shards: 4,
+                placement: ShardPlacement::Subtree,
+                table: vec![("/".to_owned(), 0), ("/hot".to_owned(), 1)],
+                reshard: vec![ReshardEvent {
+                    at: SimTime::from_millis(30),
+                    action: ReshardAction::Assign {
+                        prefix: "/hot/sub1".to_owned(),
+                        to: 3,
+                    },
+                }],
+                ..ShardMdsConfig::default()
+            });
+            let node_names: Vec<String> = (0..NODES).map(|i| format!("tn{i}")).collect();
+            let specs: Vec<WorkerSpec> = (0..NODES * PPN)
+                .map(|w| WorkerSpec::new(w / PPN, w % PPN))
+                .collect();
+            let streams: Vec<Box<dyn cluster::OpStream>> = (0..specs.len())
+                .map(|w| {
+                    Box::new(move |i: u64| {
+                        (i < OPS).then(|| MetaOp::Create {
+                            path: format!("/hot/sub{}/w{w}f{i}", i % 2),
+                            data_bytes: 0,
+                        })
+                    }) as Box<dyn cluster::OpStream>
+                })
+                .collect();
+            run_sim(
+                &mut model,
+                &node_names,
+                specs,
+                streams,
+                &SimConfig::default(),
+            )
+        });
+        set_sim_threads(None);
+        report
+    };
+
+    let classic = run(None);
+    let total_ops = (NODES * PPN) as u64 * OPS;
+    assert_eq!(classic.counter("shardmds.lookups"), total_ops);
+    assert!(
+        classic.counter("shardmds.migrations") > 0,
+        "the schedule must actually migrate under live traffic"
+    );
+
+    let windowed = run(Some(1));
+    for threads in [2usize, 4] {
+        let r = run(Some(threads));
+        for name in COUNTERS {
+            assert_eq!(
+                r.counter(name),
+                windowed.counter(name),
+                "{name} differs at --sim-threads {threads}"
+            );
+        }
+        assert_eq!(
+            r.to_metrics_json(),
+            windowed.to_metrics_json(),
+            "metrics summary differs at --sim-threads {threads}"
+        );
+    }
+    // engine-invariance of the per-op totals (the windowed trace
+    // *structure* differs — one process per domain — but the sums must
+    // not). `reshard_events` is deliberately excluded: every domain
+    // replica applies the schedule, so it counts once per domain.
+    for name in &COUNTERS[..4] {
+        assert_eq!(
+            classic.counter(name),
+            windowed.counter(name),
+            "{name} differs between the classic and windowed engines"
+        );
+    }
+    assert_eq!(
+        windowed.counter("shardmds.reshard_events"),
+        4 * classic.counter("shardmds.reshard_events"),
+        "each of the four domain replicas applies the schedule once"
+    );
+}
+
 /// Untraced runs carry no telemetry — recording stays opt-in.
 #[test]
 fn untraced_runs_have_no_telemetry() {
